@@ -1,0 +1,490 @@
+// Benchmark harness: one benchmark per table and figure of the paper
+// (DESIGN.md §4 maps each to its analyzer and modules). Every benchmark
+// measures the analysis cost over a shared crawl dataset and reports the
+// headline numbers as custom metrics, so `go test -bench=. -benchmem`
+// regenerates the paper's rows. EXPERIMENTS.md records paper-vs-measured
+// for each one.
+package headerbid
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"headerbid/internal/analysis"
+	"headerbid/internal/dataset"
+	"headerbid/internal/hb"
+	"headerbid/internal/staticdet"
+	"headerbid/internal/wayback"
+)
+
+// benchWorldSize balances fidelity and runtime: large enough that every
+// figure has a dense sample, small enough that the full bench suite runs
+// in minutes. cmd/hbcrawl regenerates the full 35k dataset.
+const benchWorldSize = 8000
+
+var (
+	benchOnce  sync.Once
+	benchWorld *World
+	benchRecs  []*dataset.SiteRecord
+)
+
+func benchData(b *testing.B) (*World, []*dataset.SiteRecord) {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := DefaultWorldConfig(1)
+		cfg.NumSites = benchWorldSize
+		benchWorld = GenerateWorld(cfg)
+		benchRecs = Crawl(benchWorld, DefaultCrawlConfig(1))
+	})
+	return benchWorld, benchRecs
+}
+
+// BenchmarkTable1_DatasetSummary regenerates Table 1.
+func BenchmarkTable1_DatasetSummary(b *testing.B) {
+	_, recs := benchData(b)
+	var sum dataset.Summary
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum = dataset.Summarize(recs)
+	}
+	b.ReportMetric(float64(sum.SitesCrawled), "sites")
+	b.ReportMetric(100*sum.AdoptionRate(), "hb_pct")        // paper: 14.28
+	b.ReportMetric(float64(sum.Auctions), "auctions")       // paper: 798,629 at 35k sites x 34 days
+	b.ReportMetric(float64(sum.Bids), "bids")               // paper: 241,392
+	b.ReportMetric(float64(sum.DemandPartners), "partners") // paper: 84
+}
+
+// BenchmarkAdoptionByRankBand regenerates the §3.2 rank-band adoption.
+func BenchmarkAdoptionByRankBand(b *testing.B) {
+	_, recs := benchData(b)
+	var bands []analysis.RankBandAdoption
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bands = analysis.AdoptionByRankBand(recs)
+	}
+	if len(bands) > 0 {
+		b.ReportMetric(100*bands[0].Adoption, "top5k_pct") // paper: 20-23
+	}
+	if len(bands) > 1 {
+		b.ReportMetric(100*bands[1].Adoption, "mid_pct") // paper: 12-17
+	}
+}
+
+// BenchmarkFigure4_AdoptionOverYears regenerates the Wayback study.
+func BenchmarkFigure4_AdoptionOverYears(b *testing.B) {
+	archive := wayback.NewArchive(1, 1000)
+	det := staticdet.New()
+	var years []analysis.YearAdoption
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		years = analysis.AdoptionOverYears(archive, det)
+	}
+	b.ReportMetric(100*years[0].Rate, "y2014_pct")            // paper: ~10
+	b.ReportMetric(100*years[len(years)-1].Rate, "y2019_pct") // paper: ~20
+}
+
+// BenchmarkFacetBreakdown regenerates §4.6 (server 48%, hybrid 34.7%,
+// client 17.3%).
+func BenchmarkFacetBreakdown(b *testing.B) {
+	_, recs := benchData(b)
+	var shares []analysis.FacetShare
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shares = analysis.FacetBreakdown(recs)
+	}
+	for _, s := range shares {
+		switch s.Facet {
+		case hb.FacetServer:
+			b.ReportMetric(100*s.Share, "server_pct")
+		case hb.FacetHybrid:
+			b.ReportMetric(100*s.Share, "hybrid_pct")
+		case hb.FacetClient:
+			b.ReportMetric(100*s.Share, "client_pct")
+		}
+	}
+}
+
+// BenchmarkFigure8_TopPartners regenerates partner popularity (DFP ≈80%).
+func BenchmarkFigure8_TopPartners(b *testing.B) {
+	_, recs := benchData(b)
+	var top []analysis.PartnerShare
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		top = analysis.TopPartners(recs, 11)
+	}
+	for _, p := range top {
+		if p.Slug == "dfp" {
+			b.ReportMetric(100*p.Share, "dfp_pct") // paper: >80
+		}
+	}
+	b.ReportMetric(float64(len(top)), "rows")
+}
+
+// BenchmarkFigure9_PartnersPerSite regenerates the partner-count CDF.
+func BenchmarkFigure9_PartnersPerSite(b *testing.B) {
+	_, recs := benchData(b)
+	var res analysis.PartnersPerSiteResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = analysis.PartnersPerSite(recs)
+	}
+	b.ReportMetric(100*res.FracOne, "one_pct")   // paper: >50
+	b.ReportMetric(100*res.FracGE5, "ge5_pct")   // paper: ~20
+	b.ReportMetric(100*res.FracGE10, "ge10_pct") // paper: ~5
+}
+
+// BenchmarkFigure10_PartnerCombos regenerates combination shares (DFP
+// alone 48%, Criteo 2.37%, Yieldlab 1.68%).
+func BenchmarkFigure10_PartnerCombos(b *testing.B) {
+	_, recs := benchData(b)
+	var combos []analysis.ComboShare
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		combos = analysis.PartnerCombos(recs, 15)
+	}
+	for _, c := range combos {
+		switch c.Key {
+		case "dfp":
+			b.ReportMetric(100*c.Share, "dfp_alone_pct")
+		case "criteo":
+			b.ReportMetric(100*c.Share, "criteo_alone_pct")
+		case "yieldlab":
+			b.ReportMetric(100*c.Share, "yieldlab_alone_pct")
+		}
+	}
+}
+
+// BenchmarkFigure11_PartnersPerFacet regenerates per-facet bid shares
+// (Rubicon and AppNexus top-2 in every facet).
+func BenchmarkFigure11_PartnersPerFacet(b *testing.B) {
+	_, recs := benchData(b)
+	var byFacet map[hb.Facet][]analysis.PartnerBidShare
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		byFacet = analysis.PartnersPerFacet(recs, 10)
+	}
+	if rows := byFacet[hb.FacetServer]; len(rows) > 0 {
+		b.ReportMetric(100*rows[0].Share, "server_top_pct")
+	}
+	if rows := byFacet[hb.FacetHybrid]; len(rows) > 0 {
+		b.ReportMetric(100*rows[0].Share, "hybrid_top_pct")
+	}
+}
+
+// BenchmarkFigure12_LatencyCDF regenerates the total HB latency CDF
+// (median ≈600ms; ≥3s in ~10% of sites).
+func BenchmarkFigure12_LatencyCDF(b *testing.B) {
+	_, recs := benchData(b)
+	var res analysis.LatencyCDFResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = analysis.LatencyCDF(recs)
+	}
+	b.ReportMetric(res.MedianMS, "median_ms")
+	b.ReportMetric(100*res.FracOver1s, "gt1s_pct")
+	b.ReportMetric(100*res.FracOver3s, "gt3s_pct")
+}
+
+// BenchmarkFigure13_LatencyVsRank regenerates latency by rank bins
+// (top-ranked publishers ≈310ms vs ≈500ms beyond in the paper). The
+// reported metrics aggregate the top 2500 ranks against the tail, since
+// single 500-rank bins carry too few HB sites at this world size to be
+// stable.
+func BenchmarkFigure13_LatencyVsRank(b *testing.B) {
+	_, recs := benchData(b)
+	var out = analysis.LatencyVsRank(recs, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = analysis.LatencyVsRank(recs, 500)
+	}
+	agg := analysis.LatencyVsRank(recs, 2500)
+	if len(agg) > 1 {
+		b.ReportMetric(agg[0].Stats.Median, "top_median_ms")
+		b.ReportMetric(agg[len(agg)-1].Stats.Median, "tail_median_ms")
+	}
+	b.ReportMetric(float64(len(out)), "bins500")
+}
+
+// BenchmarkFigure14_PartnerLatency regenerates fastest/top/slowest
+// partner latencies (fastest medians 41-217ms; slowest 646-1290ms).
+func BenchmarkFigure14_PartnerLatency(b *testing.B) {
+	world, recs := benchData(b)
+	var res analysis.PartnerLatencyExtremes
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = analysis.LatencyExtremes(recs, world.Registry, 10, 5)
+	}
+	if len(res.Fastest) > 0 {
+		b.ReportMetric(res.Fastest[0].Stats.Median, "fastest_median_ms")
+	}
+	if len(res.Slowest) > 0 {
+		b.ReportMetric(res.Slowest[0].Stats.Median, "slowest_median_ms")
+	}
+}
+
+// BenchmarkFigure15_LatencyVsPartnerCount regenerates latency vs partner
+// count (1→≈268ms, 2→≈1.09s, >2→1.3-3.0s).
+func BenchmarkFigure15_LatencyVsPartnerCount(b *testing.B) {
+	_, recs := benchData(b)
+	var rows []analysis.CountLatency
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = analysis.LatencyVsPartnerCount(recs, 15)
+	}
+	for _, r := range rows {
+		switch r.Partners {
+		case 1:
+			b.ReportMetric(r.Stats.Median, "p1_median_ms")
+		case 2:
+			b.ReportMetric(r.Stats.Median, "p2_median_ms")
+		case 5:
+			b.ReportMetric(r.Stats.Median, "p5_median_ms")
+		}
+	}
+}
+
+// BenchmarkFigure16_LatencyVsPopularity regenerates latency variability
+// by partner popularity (popular partners: tighter spreads).
+func BenchmarkFigure16_LatencyVsPopularity(b *testing.B) {
+	world, recs := benchData(b)
+	var bins = analysis.LatencyVsPopularity(recs, world.Registry, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bins = analysis.LatencyVsPopularity(recs, world.Registry, 10)
+	}
+	// Single tail bins are sparse; average the head (top-20 ranks) and
+	// the tail (rank >40) spans so the trend is sampled robustly.
+	if len(bins) > 4 {
+		var head, tail float64
+		var hn, tn int
+		for _, bin := range bins {
+			if bin.Bin < 2 {
+				head += bin.Stats.WhiskerSpan()
+				hn++
+			} else if bin.Bin >= 4 {
+				tail += bin.Stats.WhiskerSpan()
+				tn++
+			}
+		}
+		b.ReportMetric(head/float64(hn), "top20_span_ms")
+		b.ReportMetric(tail/float64(tn), "tail_span_ms")
+	}
+}
+
+// BenchmarkFigure17_LateBidsCDF regenerates the late-bid distribution
+// (median late share ≈50%; p90 ≥80%).
+func BenchmarkFigure17_LateBidsCDF(b *testing.B) {
+	_, recs := benchData(b)
+	var res analysis.LateBidsResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = analysis.LateBids(recs)
+	}
+	b.ReportMetric(res.MedianLateShare, "median_late_pct")
+	b.ReportMetric(res.P90LateShare, "p90_late_pct")
+	b.ReportMetric(100*res.FracOneLate, "one_late_pct") // paper: 60
+}
+
+// BenchmarkFigure18_LateBidsPerPartner regenerates per-partner lateness
+// (21 partners >50%; some at 100%).
+func BenchmarkFigure18_LateBidsPerPartner(b *testing.B) {
+	_, recs := benchData(b)
+	var rows []analysis.PartnerLateShare
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = analysis.LateBidsPerPartner(recs, 0, 2)
+	}
+	over50 := 0
+	for _, r := range rows {
+		if r.LateShare > 0.5 {
+			over50++
+		}
+	}
+	b.ReportMetric(float64(over50), "partners_gt50pct") // paper: 21
+	if len(rows) > 0 {
+		b.ReportMetric(100*rows[0].LateShare, "worst_late_pct") // paper: ~100
+	}
+}
+
+// BenchmarkFigure19_SlotsPerSite regenerates slots-per-site CDFs (median
+// 2-6; p90 5-11; ~3% above 20).
+func BenchmarkFigure19_SlotsPerSite(b *testing.B) {
+	_, recs := benchData(b)
+	var res analysis.SlotsPerSiteResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = analysis.SlotsPerSite(recs)
+	}
+	if e := res.ByFacet[hb.FacetHybrid]; e != nil {
+		b.ReportMetric(e.Quantile(0.5), "hybrid_median")
+		b.ReportMetric(e.Quantile(0.9), "hybrid_p90")
+	}
+	b.ReportMetric(100*res.FracOver20, "gt20_pct")
+}
+
+// BenchmarkFigure20_LatencyVsSlots regenerates latency vs auctioned slots
+// (1-3 slots → 0.30-0.57s; 3-5 → 0.57-0.92s medians).
+func BenchmarkFigure20_LatencyVsSlots(b *testing.B) {
+	_, recs := benchData(b)
+	var rows []analysis.CountLatency
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = analysis.LatencyVsSlots(recs, 15)
+	}
+	for _, r := range rows {
+		switch r.Partners {
+		case 1:
+			b.ReportMetric(r.Stats.Median, "s1_median_ms")
+		case 5:
+			b.ReportMetric(r.Stats.Median, "s5_median_ms")
+		}
+	}
+}
+
+// BenchmarkFigure21_SlotSizes regenerates slot-dimension shares (300x250
+// and 728x90 dominate every facet).
+func BenchmarkFigure21_SlotSizes(b *testing.B) {
+	_, recs := benchData(b)
+	var byFacet map[hb.Facet][]analysis.SizeShare
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		byFacet = analysis.SlotSizes(recs, 10)
+	}
+	for _, f := range hb.Facets() {
+		rows := byFacet[f]
+		if len(rows) > 0 && rows[0].Size == hb.SizeMediumRectangle {
+			b.ReportMetric(100*rows[0].Share, fmt.Sprintf("%s_300x250_pct", f.Short()))
+		}
+	}
+}
+
+// BenchmarkFigure22_PriceCDF regenerates bid-price CDFs per facet
+// (client-side highest; >20% of bids above 0.5 CPM).
+func BenchmarkFigure22_PriceCDF(b *testing.B) {
+	_, recs := benchData(b)
+	var res analysis.PriceCDFResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = analysis.PriceCDF(recs)
+	}
+	if e := res.ByFacet[hb.FacetClient]; e != nil {
+		b.ReportMetric(e.Quantile(0.5), "client_median_cpm")
+	}
+	if e := res.ByFacet[hb.FacetServer]; e != nil {
+		b.ReportMetric(e.Quantile(0.5), "server_median_cpm")
+	}
+	b.ReportMetric(100*res.FracOverHalf, "gt_half_cpm_pct")
+}
+
+// BenchmarkFigure23_PricePerSize regenerates prices per slot size
+// (120x600 most expensive; 300x250 mid; tiny mobile slots cheapest).
+func BenchmarkFigure23_PricePerSize(b *testing.B) {
+	_, recs := benchData(b)
+	var rows []analysis.SizePrice
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = analysis.PricePerSize(recs, 5)
+	}
+	for _, r := range rows {
+		switch r.Size {
+		case hb.SizeWideSkyscraper:
+			b.ReportMetric(r.Stats.Median, "sz120x600_cpm")
+		case hb.SizeMediumRectangle:
+			b.ReportMetric(r.Stats.Median, "sz300x250_cpm")
+		case hb.SizeMobileBanner:
+			b.ReportMetric(r.Stats.Median, "sz320x50_cpm")
+		}
+	}
+}
+
+// BenchmarkFigure24_PriceVsPopularity regenerates price vs popularity
+// (popular partners bid low and consistently).
+func BenchmarkFigure24_PriceVsPopularity(b *testing.B) {
+	world, recs := benchData(b)
+	var bins = analysis.PriceVsPopularity(recs, world.Registry, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bins = analysis.PriceVsPopularity(recs, world.Registry, 10)
+	}
+	if len(bins) > 1 {
+		b.ReportMetric(bins[0].Stats.Median, "top10_median_cpm")
+		b.ReportMetric(bins[len(bins)-1].Stats.Median, "tail_median_cpm")
+	}
+}
+
+// BenchmarkHBVsWaterfall regenerates the headline comparison (HB median
+// up to 3x waterfall; far larger at the tail).
+func BenchmarkHBVsWaterfall(b *testing.B) {
+	world, recs := benchData(b)
+	var cmp analysis.ProtocolComparison
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmp = analysis.CompareWithWaterfall(world, recs, 1)
+	}
+	b.ReportMetric(cmp.HBLatency.Median, "hb_median_ms")
+	b.ReportMetric(cmp.WaterfallLatency.Median, "wf_median_ms")
+	b.ReportMetric(cmp.MedianRatio, "median_ratio")
+	b.ReportMetric(cmp.P90Ratio, "p90_ratio")
+}
+
+// BenchmarkTrafficOverhead regenerates the §7.3 network-overhead numbers:
+// per-visit request volume by category and the bid-request amplification
+// over waterfall (industry reports said up to 2x / 100% growth).
+func BenchmarkTrafficOverhead(b *testing.B) {
+	world, recs := benchData(b)
+	passes := analysis.MeanWaterfallPasses(world, 1)
+	var ts analysis.TrafficSummary
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts = analysis.Traffic(recs, passes)
+	}
+	b.ReportMetric(ts.BidRequests.Mean, "bidreq_mean")
+	b.ReportMetric(ts.HBRelated.Mean, "hbreq_mean")
+	b.ReportMetric(ts.AmplificationVsWaterfall, "amplification_x")
+	b.ReportMetric(passes, "wf_passes_mean")
+}
+
+// BenchmarkCrawlThroughput measures end-to-end crawl cost per site on the
+// virtual clock (the operational cost of the methodology itself).
+func BenchmarkCrawlThroughput(b *testing.B) {
+	cfg := DefaultWorldConfig(3)
+	cfg.NumSites = 300
+	world := GenerateWorld(cfg)
+	opts := DefaultCrawlConfig(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs := Crawl(world, opts)
+		if len(recs) != 300 {
+			b.Fatalf("got %d records", len(recs))
+		}
+	}
+	b.ReportMetric(300, "sites/op")
+}
+
+// BenchmarkDetectorOverhead measures HBDetector's per-visit cost: one
+// hybrid-site visit with the detector attached (the tool's real-time
+// overhead claim).
+func BenchmarkDetectorOverhead(b *testing.B) {
+	cfg := DefaultWorldConfig(5)
+	cfg.NumSites = 200
+	world := GenerateWorld(cfg)
+	var site *Site
+	for _, s := range world.HBSites() {
+		if s.Facet == hb.FacetHybrid {
+			site = s
+			break
+		}
+	}
+	if site == nil {
+		b.Skip("no hybrid site")
+	}
+	opts := DefaultCrawlConfig(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := VisitSite(world, site, i, opts)
+		if !rec.HB {
+			b.Fatal("detection lost")
+		}
+	}
+}

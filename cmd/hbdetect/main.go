@@ -1,0 +1,114 @@
+// Command hbdetect inspects a single site the way the paper's browser
+// extension does: one clean-slate visit with HBDetector attached, then a
+// human-readable dump of everything the detector observed — verdict,
+// facet, partners, auctions, bids, late bids, latencies, traffic.
+//
+// Usage:
+//
+//	hbdetect -sites 2000 -seed 1 -rank 7        # visit the rank-7 site
+//	hbdetect -sites 2000 -seed 1 -domain site00012.example
+//	hbdetect -sites 2000 -facet hybrid          # first site of that facet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"headerbid"
+)
+
+func main() {
+	var (
+		sites  = flag.Int("sites", 2000, "world size")
+		seed   = flag.Int64("seed", 1, "world seed")
+		rank   = flag.Int("rank", 0, "visit the site with this rank")
+		domain = flag.String("domain", "", "visit this domain")
+		facet  = flag.String("facet", "", "visit the first HB site with this facet (client|server|hybrid)")
+		day    = flag.Int("day", 0, "crawl day (changes the visit's random draws)")
+	)
+	flag.Parse()
+
+	log.SetFlags(0)
+	log.SetPrefix("hbdetect: ")
+
+	cfg := headerbid.DefaultWorldConfig(*seed)
+	cfg.NumSites = *sites
+	world := headerbid.GenerateWorld(cfg)
+
+	site := pickSite(world, *rank, *domain, *facet)
+	if site == nil {
+		log.Fatal("no matching site (try -rank, -domain or -facet)")
+	}
+
+	fmt.Printf("site    %s (rank %d)\n", site.Domain, site.Rank)
+	fmt.Printf("truth   hb=%v facet=%s partners=%v slots=%d timeout=%dms\n\n",
+		site.HB, site.Facet.Short(), site.Partners, len(site.AdUnits), site.TimeoutMS)
+
+	rec := headerbid.VisitSite(world, site, *day, headerbid.DefaultCrawlConfig(*seed))
+
+	fmt.Printf("detected      hb=%v facet=%s libraries=%v\n", rec.HB, rec.Facet, rec.Libraries)
+	fmt.Printf("partners      %v\n", rec.Partners)
+	fmt.Printf("winners       %v\n", rec.Winners)
+	fmt.Printf("hb latency    %.0f ms\n", rec.TotalHBLatencyMS)
+	fmt.Printf("slots         %d auctioned\n", rec.AdSlotsAuctioned)
+	fmt.Printf("traffic       bid=%d hosted=%d adsrv=%d creative=%d beacon=%d script=%d other=%d\n\n",
+		rec.Traffic.BidRequests, rec.Traffic.HostedCalls, rec.Traffic.AdServer,
+		rec.Traffic.Creatives, rec.Traffic.Beacons, rec.Traffic.Scripts, rec.Traffic.Other)
+
+	for _, a := range rec.Auctions {
+		fmt.Printf("auction %-28s unit=%-24s size=%-8s dur=%6.0fms bids=%d",
+			a.ID, a.AdUnit, a.Size, a.DurationMS, len(a.Bids))
+		if a.Winner != "" {
+			fmt.Printf("  winner=%s@%.4f", a.Winner, a.WinnerCPM)
+		}
+		if a.Failed {
+			fmt.Printf("  RENDER-FAILED")
+		}
+		fmt.Println()
+		for _, b := range a.Bids {
+			late := ""
+			if b.Late {
+				late = "  LATE"
+			}
+			fmt.Printf("    %-16s %8.4f CPM  %-9s %6.0fms  %s%s\n",
+				b.Bidder, b.CPM, b.Size, b.LatencyMS, b.Source, late)
+		}
+	}
+	if !rec.HB {
+		fmt.Println("no header bidding detected on this page")
+		os.Exit(0)
+	}
+}
+
+func pickSite(w *headerbid.World, rank int, domain, facet string) *headerbid.Site {
+	switch {
+	case domain != "":
+		s, ok := w.SiteByDomain(domain)
+		if !ok {
+			return nil
+		}
+		return s
+	case rank > 0:
+		for _, s := range w.Sites {
+			if s.Rank == rank {
+				return s
+			}
+		}
+		return nil
+	case facet != "":
+		for _, s := range w.HBSites() {
+			if s.Facet.Short() == facet {
+				return s
+			}
+		}
+		return nil
+	default:
+		hb := w.HBSites()
+		if len(hb) == 0 {
+			return nil
+		}
+		return hb[0]
+	}
+}

@@ -1,0 +1,45 @@
+// Command hbreport regenerates every dataset-derived table and figure of
+// the paper from a crawl dataset (see cmd/hbcrawl), printing the same
+// rows the paper reports.
+//
+// Usage:
+//
+//	hbreport -i crawl.jsonl
+//	hbcrawl -sites 2000 -o - | hbreport -i -
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"headerbid"
+)
+
+func main() {
+	var (
+		in = flag.String("i", "crawl.jsonl", "input JSONL dataset ('-' for stdin)")
+	)
+	flag.Parse()
+
+	log.SetFlags(0)
+	log.SetPrefix("hbreport: ")
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	recs, err := headerbid.ReadDataset(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(recs) == 0 {
+		log.Fatal("empty dataset")
+	}
+	headerbid.Report(os.Stdout, recs)
+}

@@ -1,0 +1,62 @@
+// Quickstart: generate a small synthetic web, visit one HB-enabled page
+// with HBDetector attached, and print what the detector observed — the
+// single-page workflow the paper ships as a browser extension.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"headerbid"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 200-site world, deterministically generated.
+	cfg := headerbid.DefaultWorldConfig(7)
+	cfg.NumSites = 200
+	world := headerbid.GenerateWorld(cfg)
+
+	// Pick the first hybrid-HB site: the richest facet (client-side
+	// auction + DFP-style ad server adding its own demand).
+	var site *headerbid.Site
+	for _, s := range world.HBSites() {
+		if s.Facet == headerbid.FacetHybrid {
+			site = s
+			break
+		}
+	}
+	if site == nil {
+		log.Fatal("no hybrid site generated (unexpected for this seed)")
+	}
+	fmt.Printf("visiting %s (ground truth: %s, %d ad units, partners %v)\n\n",
+		site.PageURL(), site.Facet, len(site.AdUnits), site.Partners)
+
+	// One clean-slate visit with the detector attached.
+	rec := headerbid.VisitSite(world, site, 0, headerbid.DefaultCrawlConfig(7))
+
+	fmt.Printf("detected HB:      %v\n", rec.HB)
+	fmt.Printf("detected facet:   %s\n", rec.Facet)
+	fmt.Printf("libraries seen:   %v\n", rec.Libraries)
+	fmt.Printf("partners seen:    %v\n", rec.Partners)
+	fmt.Printf("total HB latency: %.0f ms\n", rec.TotalHBLatencyMS)
+	fmt.Printf("slots auctioned:  %d\n\n", rec.AdSlotsAuctioned)
+
+	for _, a := range rec.Auctions {
+		fmt.Printf("auction %s unit=%s size=%s dur=%.0fms bids=%d",
+			a.ID, a.AdUnit, a.Size, a.DurationMS, len(a.Bids))
+		if a.Winner != "" {
+			fmt.Printf(" winner=%s @ %.4f CPM", a.Winner, a.WinnerCPM)
+		}
+		fmt.Println()
+		for _, b := range a.Bids {
+			late := ""
+			if b.Late {
+				late = " (LATE — excluded from auction)"
+			}
+			fmt.Printf("  bid %-14s %.4f CPM %s %0.0fms%s\n",
+				b.Bidder, b.CPM, b.Size, b.LatencyMS, late)
+		}
+	}
+}

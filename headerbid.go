@@ -1,0 +1,147 @@
+// Package headerbid is a full reproduction of "No More Chasing Waterfalls:
+// A Measurement Study of the Header Bidding Ad-Ecosystem" (IMC 2019): the
+// HBDetector transparency tool, the protocol emulations it observes
+// (prebid.js-style client wrappers, hosted server-side auctions, hybrid
+// deployments, the waterfall baseline), a calibrated synthetic web of
+// 35,000 publishers to measure, a crawler, and analyzers that regenerate
+// every table and figure of the paper.
+//
+// Quick start:
+//
+//	world := headerbid.GenerateWorld(headerbid.WorldConfig{Seed: 1, NumSites: 1000})
+//	recs := headerbid.Crawl(world, headerbid.CrawlConfig{Seed: 1})
+//	sum := headerbid.Summarize(recs)
+//	fmt.Printf("HB adoption: %.2f%%\n", 100*sum.AdoptionRate())
+//
+// The package is a thin facade; the implementation lives in internal/
+// packages (see DESIGN.md for the system inventory).
+package headerbid
+
+import (
+	"io"
+
+	"headerbid/internal/analysis"
+	"headerbid/internal/browser"
+	"headerbid/internal/core"
+	"headerbid/internal/crawler"
+	"headerbid/internal/dataset"
+	"headerbid/internal/hb"
+	"headerbid/internal/partners"
+	"headerbid/internal/report"
+	"headerbid/internal/sitegen"
+	"headerbid/internal/staticdet"
+	"headerbid/internal/wayback"
+)
+
+// Re-exported core types. The facade deliberately exposes the small
+// surface a downstream user needs; power users can vendor the internal
+// packages' structure instead.
+type (
+	// World is the generated publisher ecosystem.
+	World = sitegen.World
+	// Site is one generated publisher.
+	Site = sitegen.Site
+	// WorldConfig tunes world generation.
+	WorldConfig = sitegen.Config
+	// SiteRecord is one crawled site observation.
+	SiteRecord = dataset.SiteRecord
+	// Summary is the Table 1 roll-up.
+	Summary = dataset.Summary
+	// Facet is an HB deployment style.
+	Facet = hb.Facet
+	// Size is an ad-slot dimension.
+	Size = hb.Size
+	// Observation is a single-page detector result.
+	Observation = core.Observation
+	// Registry is the demand-partner registry.
+	Registry = partners.Registry
+	// CrawlConfig tunes a crawl.
+	CrawlConfig = crawler.Options
+	// Archive is the historical snapshot archive for adoption studies.
+	Archive = wayback.Archive
+)
+
+// Facet values.
+const (
+	FacetUnknown = hb.FacetUnknown
+	FacetClient  = hb.FacetClient
+	FacetServer  = hb.FacetServer
+	FacetHybrid  = hb.FacetHybrid
+)
+
+// DefaultWorldConfig returns the paper-calibrated generation config.
+func DefaultWorldConfig(seed int64) WorldConfig { return sitegen.DefaultConfig(seed) }
+
+// GenerateWorld builds a synthetic publisher ecosystem.
+func GenerateWorld(cfg WorldConfig) *World { return sitegen.Generate(cfg) }
+
+// Partners returns the registry of the 84 demand partners of the study.
+func Partners() *Registry { return partners.Default() }
+
+// DefaultCrawlConfig mirrors the paper's crawl policy.
+func DefaultCrawlConfig(seed int64) CrawlConfig { return crawler.DefaultOptions(seed) }
+
+// Crawl measures a world with clean-slate instances on the simulated
+// network and returns one record per site visit.
+func Crawl(w *World, cfg CrawlConfig) []*SiteRecord {
+	return crawler.CrawlWorld(w, cfg, nil)
+}
+
+// CrawlWithProgress is Crawl with a progress callback.
+func CrawlWithProgress(w *World, cfg CrawlConfig, progress func(done, total int)) []*SiteRecord {
+	return crawler.CrawlWorld(w, cfg, crawler.Progress(progress))
+}
+
+// VisitSite measures one site (one clean-slate visit) and returns its
+// record — the single-page entry point HBDetector exposes as a browser
+// extension in the paper.
+func VisitSite(w *World, s *Site, day int, cfg CrawlConfig) *SiteRecord {
+	return crawler.VisitSimulated(w, s, day, cfg)
+}
+
+// Summarize computes the Table 1 numbers.
+func Summarize(recs []*SiteRecord) Summary { return dataset.Summarize(recs) }
+
+// WriteDataset writes records as JSONL.
+func WriteDataset(w io.Writer, recs []*SiteRecord) error {
+	dw := dataset.NewWriter(w)
+	for _, r := range recs {
+		if err := dw.Write(r); err != nil {
+			return err
+		}
+	}
+	return dw.Close()
+}
+
+// ReadDataset loads a JSONL dataset.
+func ReadDataset(r io.Reader) ([]*SiteRecord, error) { return dataset.Read(r) }
+
+// Report renders every dataset-derived table and figure to w.
+func Report(w io.Writer, recs []*SiteRecord) {
+	report.New(w).Full(recs, partners.Default())
+}
+
+// NewArchive builds the historical snapshot archive (top-1k per year).
+func NewArchive(seed int64, topN int) *Archive { return wayback.NewArchive(seed, topN) }
+
+// AdoptionOverYears runs the Figure 4 study on an archive with the
+// paper's static analysis.
+func AdoptionOverYears(a *Archive) []analysis.YearAdoption {
+	return analysis.AdoptionOverYears(a, staticdet.New())
+}
+
+// CompareWithWaterfall runs the paired HB vs waterfall experiment.
+func CompareWithWaterfall(w *World, recs []*SiteRecord, seed int64) analysis.ProtocolComparison {
+	return analysis.CompareWithWaterfall(w, recs, seed)
+}
+
+// Browser/Detector access for custom environments (see examples/livecapture).
+type (
+	// Page is one loaded webpage with its event bus and request inspector.
+	Page = browser.Page
+	// Detector is one page's HBDetector instance.
+	Detector = core.Detector
+)
+
+// AttachDetector wires an HBDetector to a page.
+func AttachDetector(p *Page, reg *Registry) *Detector { return core.Attach(p, reg) }

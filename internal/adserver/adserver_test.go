@@ -1,0 +1,194 @@
+package adserver
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"headerbid/internal/hb"
+)
+
+func newServer(seed int64) *Server {
+	return New(DefaultConfig(seed))
+}
+
+func TestDecideHBWinsAboveFloor(t *testing.T) {
+	s := newServer(1)
+	hits := 0
+	for i := 0; i < 200; i++ {
+		d := s.Decide(Request{
+			Site: "x.example", AdUnit: "u1", Size: hb.SizeMediumRectangle,
+			Targeting: hb.Targeting{hb.KeyBidder: "appnexus", hb.KeyPriceBuck: "2.50"},
+		})
+		if d.Channel == "hb" {
+			hits++
+			if d.Bidder != "appnexus" || d.CPM != 2.5 {
+				t.Fatalf("hb decision mangled: %+v", d)
+			}
+		}
+	}
+	// A 2.50 CPM bid clears the default floor; it loses only to a rare
+	// higher direct order.
+	if hits < 150 {
+		t.Fatalf("hb won only %d/200 with a high bid", hits)
+	}
+}
+
+func TestDecideHBBelowFloorNeverWins(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.FloorCPM = 0.5
+	s := New(cfg)
+	for i := 0; i < 100; i++ {
+		d := s.Decide(Request{
+			Site: "x.example", AdUnit: "u1", Size: hb.SizeMediumRectangle,
+			Targeting: hb.Targeting{hb.KeyBidder: "sovrn", hb.KeyPriceBuck: "0.10"},
+		})
+		if d.Channel == "hb" {
+			t.Fatalf("bid below floor won: %+v", d)
+		}
+		if d.HBCleared {
+			t.Fatalf("HBCleared set for sub-floor bid")
+		}
+	}
+}
+
+func TestDecideNoTargetingFallsThrough(t *testing.T) {
+	s := newServer(3)
+	channels := map[string]int{}
+	for i := 0; i < 300; i++ {
+		d := s.Decide(Request{Site: "x.example", AdUnit: "u", Size: hb.SizeLeaderboard})
+		channels[d.Channel]++
+		if d.Channel == "hb" {
+			t.Fatalf("hb won without targeting")
+		}
+	}
+	if channels["house"] == 0 {
+		t.Fatalf("house never filled: %v", channels)
+	}
+}
+
+func TestDirectOrderConsumesImpressions(t *testing.T) {
+	// Force direct fills with a config that always has direct demand.
+	cfg := DefaultConfig(11)
+	cfg.DirectFill = 1.0
+	s := New(cfg)
+	var direct *LineItem
+	for i := range s.items {
+		if s.items[i].Type == Direct {
+			direct = &s.items[i]
+			break
+		}
+	}
+	if direct == nil {
+		t.Skip("no direct line items for this seed")
+	}
+	before := direct.Remaining
+	for i := 0; i < 50; i++ {
+		s.Decide(Request{Site: "x", AdUnit: "u", Size: direct.Sizes[0]})
+	}
+	if direct.Remaining >= before {
+		t.Fatalf("direct order not consumed: %d -> %d", before, direct.Remaining)
+	}
+}
+
+func TestLineItemMatches(t *testing.T) {
+	li := LineItem{Sizes: []hb.Size{hb.SizeMediumRectangle}}
+	if !li.Matches(hb.SizeMediumRectangle) || li.Matches(hb.SizeLeaderboard) {
+		t.Fatal("size matching wrong")
+	}
+	anyLI := LineItem{}
+	if !anyLI.Matches(hb.SizeLeaderboard) {
+		t.Fatal("size-less line item should match everything")
+	}
+}
+
+func TestDecisionLatencyPositive(t *testing.T) {
+	s := newServer(5)
+	for i := 0; i < 50; i++ {
+		d := s.Decide(Request{Site: "x", AdUnit: "u", Size: hb.SizeMediumRectangle})
+		if d.Elapsed <= 0 {
+			t.Fatalf("decision has no latency: %+v", d)
+		}
+	}
+}
+
+func TestFillRateByChannelSumsToOne(t *testing.T) {
+	s := newServer(6)
+	for i := 0; i < 200; i++ {
+		s.Decide(Request{Site: "x", AdUnit: "u", Size: hb.SizeMediumRectangle})
+	}
+	var total float64
+	for _, f := range s.FillRateByChannel() {
+		total += f
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("fill rates sum to %v", total)
+	}
+	if s2 := newServer(7); s2.FillRateByChannel() != nil {
+		t.Fatal("empty server should report nil fill rates")
+	}
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	a, b := newServer(42), newServer(42)
+	for i := 0; i < 100; i++ {
+		req := Request{Site: "x", AdUnit: "u", Size: hb.SizeMediumRectangle,
+			Targeting: hb.Targeting{hb.KeyBidder: "ix", hb.KeyPriceBuck: "0.30"}}
+		da, db := a.Decide(req), b.Decide(req)
+		if da.Channel != db.Channel || da.CPM != db.CPM {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, da, db)
+		}
+	}
+}
+
+// Property: every decision lands in a known channel and CPM is coherent.
+func TestDecisionInvariantsProperty(t *testing.T) {
+	f := func(seed int64, pb uint8) bool {
+		s := newServer(seed)
+		cpm := float64(pb) / 50 // 0..5.1
+		d := s.Decide(Request{
+			Site: "x", AdUnit: "u", Size: hb.SizeMediumRectangle,
+			Targeting: hb.Targeting{hb.KeyBidder: "openx", hb.KeyPriceBuck: hb.PriceBucket(cpm)},
+		})
+		switch d.Channel {
+		case "hb", "direct", "price-priority", "house", "unfilled":
+		default:
+			return false
+		}
+		if d.Channel == "hb" && d.CPM < s.Floor()-1e-9 {
+			return false
+		}
+		if d.Channel == "house" && d.CPM != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderTagCarriesHBParams(t *testing.T) {
+	d := Decision{AdUnit: "u1", Size: hb.SizeMediumRectangle, Channel: "hb",
+		Bidder: "rubicon", CPM: 0.31}
+	tag := RenderTag(d, hb.Targeting{hb.KeyCacheID: "abc"})
+	for _, want := range []string{"hb_bidder=rubicon", "hb_pb=0.30", "hb_size=300x250", "hb_cache_id=abc"} {
+		if !strings.Contains(tag, want) {
+			t.Errorf("tag missing %q: %s", want, tag)
+		}
+	}
+	house := RenderTag(Decision{AdUnit: "u", Size: hb.SizeLeaderboard, Channel: "house", LineItem: "house-1"}, nil)
+	if strings.Contains(house, "hb_bidder") {
+		t.Fatalf("house tag leaked HB params: %s", house)
+	}
+}
+
+func TestLineItemTypeString(t *testing.T) {
+	if Direct.String() != "direct" || House.String() != "house" ||
+		PricePriority.String() != "price-priority" {
+		t.Fatal("type strings wrong")
+	}
+	if LineItemType(99).String() != "unknown" {
+		t.Fatal("unknown type string wrong")
+	}
+}

@@ -1,0 +1,322 @@
+// Package analysis turns crawl datasets into the tables and figures of
+// the paper. Every public function corresponds to one table/figure (see
+// DESIGN.md §4 for the full index); all of them consume the flat
+// dataset.SiteRecord stream produced by the crawler, so they can be run
+// on any dataset regardless of which network produced it.
+package analysis
+
+import (
+	"sort"
+
+	"headerbid/internal/dataset"
+	"headerbid/internal/hb"
+	"headerbid/internal/stats"
+)
+
+// hbRecords filters to HB site records.
+func hbRecords(recs []*dataset.SiteRecord) []*dataset.SiteRecord {
+	var out []*dataset.SiteRecord
+	for _, r := range recs {
+		if r.HB {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// dedupeByDomain keeps the first record per domain (site-level analyses
+// use one observation per site; multi-day datasets would double count).
+func dedupeByDomain(recs []*dataset.SiteRecord) []*dataset.SiteRecord {
+	seen := make(map[string]bool, len(recs))
+	var out []*dataset.SiteRecord
+	for _, r := range recs {
+		if !seen[r.Domain] {
+			seen[r.Domain] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Adoption (Table 1 companion, §3.2 rank bands, §4.6 facets)
+// ---------------------------------------------------------------------------
+
+// RankBandAdoption is HB adoption within one rank band.
+type RankBandAdoption struct {
+	Lo, Hi   int // rank range, inclusive
+	Sites    int
+	HBSites  int
+	Adoption float64
+}
+
+// AdoptionByRankBand reproduces §3.2: HB share in the top 5k, 5k-15k and
+// the tail.
+func AdoptionByRankBand(recs []*dataset.SiteRecord) []RankBandAdoption {
+	recs = dedupeByDomain(recs)
+	bands := []RankBandAdoption{
+		{Lo: 1, Hi: 5000},
+		{Lo: 5001, Hi: 15000},
+		{Lo: 15001, Hi: 1 << 30},
+	}
+	maxRank := 0
+	for _, r := range recs {
+		for i := range bands {
+			if r.Rank >= bands[i].Lo && r.Rank <= bands[i].Hi {
+				bands[i].Sites++
+				if r.HB {
+					bands[i].HBSites++
+				}
+			}
+		}
+		if r.Rank > maxRank {
+			maxRank = r.Rank
+		}
+	}
+	var out []RankBandAdoption
+	for _, b := range bands {
+		if b.Sites == 0 {
+			continue
+		}
+		if b.Hi > maxRank {
+			b.Hi = maxRank
+		}
+		b.Adoption = float64(b.HBSites) / float64(b.Sites)
+		out = append(out, b)
+	}
+	return out
+}
+
+// FacetShare is one facet's share of HB sites.
+type FacetShare struct {
+	Facet hb.Facet
+	Sites int
+	Share float64
+}
+
+// FacetBreakdown reproduces §4.6: server 48%, hybrid 34.7%, client 17.3%.
+func FacetBreakdown(recs []*dataset.SiteRecord) []FacetShare {
+	recs = dedupeByDomain(hbRecords(recs))
+	counts := map[hb.Facet]int{}
+	for _, r := range recs {
+		counts[r.FacetValue()]++
+	}
+	total := len(recs)
+	var out []FacetShare
+	for _, f := range []hb.Facet{hb.FacetServer, hb.FacetHybrid, hb.FacetClient, hb.FacetUnknown} {
+		n := counts[f]
+		if n == 0 && f == hb.FacetUnknown {
+			continue
+		}
+		share := 0.0
+		if total > 0 {
+			share = float64(n) / float64(total)
+		}
+		out = append(out, FacetShare{Facet: f, Sites: n, Share: share})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Demand partners (Figures 8, 9, 10, 11)
+// ---------------------------------------------------------------------------
+
+// PartnerShare is one partner's site coverage (Figure 8).
+type PartnerShare struct {
+	Slug  string
+	Sites int
+	Share float64 // fraction of HB sites the partner appears on
+}
+
+// TopPartners reproduces Figure 8: the percentage of HB sites each
+// demand partner participates in, descending; k<=0 returns all.
+func TopPartners(recs []*dataset.SiteRecord, k int) []PartnerShare {
+	recs = dedupeByDomain(hbRecords(recs))
+	counts := map[string]int{}
+	for _, r := range recs {
+		for _, p := range r.Partners {
+			counts[p]++
+		}
+	}
+	out := make([]PartnerShare, 0, len(counts))
+	for slug, n := range counts {
+		out = append(out, PartnerShare{
+			Slug: slug, Sites: n, Share: float64(n) / float64(max(1, len(recs))),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sites != out[j].Sites {
+			return out[i].Sites > out[j].Sites
+		}
+		return out[i].Slug < out[j].Slug
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// UniquePartners counts distinct partners across the dataset.
+func UniquePartners(recs []*dataset.SiteRecord) int {
+	set := map[string]bool{}
+	for _, r := range recs {
+		for _, p := range r.Partners {
+			set[p] = true
+		}
+		for _, p := range r.Winners {
+			set[p] = true
+		}
+	}
+	return len(set)
+}
+
+// PartnersPerSite reproduces Figure 9: the distribution of demand
+// partners per HB site. Returns the ECDF plus the headline fractions.
+type PartnersPerSiteResult struct {
+	ECDF      *stats.ECDF
+	FracOne   float64
+	FracGE5   float64
+	FracGE10  float64
+	MaxCount  int
+	SiteCount int
+}
+
+// PartnersPerSite computes the Figure 9 distribution.
+func PartnersPerSite(recs []*dataset.SiteRecord) PartnersPerSiteResult {
+	recs = dedupeByDomain(hbRecords(recs))
+	var xs []float64
+	maxC := 0
+	one, ge5, ge10 := 0, 0, 0
+	for _, r := range recs {
+		n := len(r.Partners)
+		xs = append(xs, float64(n))
+		if n == 1 {
+			one++
+		}
+		if n >= 5 {
+			ge5++
+		}
+		if n >= 10 {
+			ge10++
+		}
+		if n > maxC {
+			maxC = n
+		}
+	}
+	total := max(1, len(xs))
+	return PartnersPerSiteResult{
+		ECDF:      stats.NewECDF(xs),
+		FracOne:   float64(one) / float64(total),
+		FracGE5:   float64(ge5) / float64(total),
+		FracGE10:  float64(ge10) / float64(total),
+		MaxCount:  maxC,
+		SiteCount: len(xs),
+	}
+}
+
+// ComboShare is one demand-partner combination's share (Figure 10).
+type ComboShare struct {
+	Combo []string // sorted slugs
+	Key   string
+	Sites int
+	Share float64
+}
+
+// PartnerCombos reproduces Figure 10: the most frequent partner
+// combinations, descending; k<=0 returns all.
+func PartnerCombos(recs []*dataset.SiteRecord, k int) []ComboShare {
+	recs = dedupeByDomain(hbRecords(recs))
+	counts := map[string]int{}
+	members := map[string][]string{}
+	for _, r := range recs {
+		if len(r.Partners) == 0 {
+			continue
+		}
+		sorted := append([]string(nil), r.Partners...)
+		sort.Strings(sorted)
+		key := join(sorted, "+")
+		counts[key]++
+		members[key] = sorted
+	}
+	out := make([]ComboShare, 0, len(counts))
+	for key, n := range counts {
+		out = append(out, ComboShare{
+			Combo: members[key], Key: key, Sites: n,
+			Share: float64(n) / float64(max(1, len(recs))),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sites != out[j].Sites {
+			return out[i].Sites > out[j].Sites
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// PartnerBidShare is one partner's share of observed bids within a facet
+// (Figure 11).
+type PartnerBidShare struct {
+	Slug  string
+	Bids  int
+	Share float64
+}
+
+// PartnersPerFacet reproduces Figure 11: top partners by share of bids,
+// per HB facet; k<=0 returns all.
+func PartnersPerFacet(recs []*dataset.SiteRecord, k int) map[hb.Facet][]PartnerBidShare {
+	out := make(map[hb.Facet][]PartnerBidShare, 3)
+	for _, facet := range hb.Facets() {
+		counts := map[string]int{}
+		total := 0
+		for _, r := range hbRecords(recs) {
+			if r.FacetValue() != facet {
+				continue
+			}
+			for _, a := range r.Auctions {
+				for _, b := range a.Bids {
+					counts[b.Bidder]++
+					total++
+				}
+			}
+		}
+		shares := make([]PartnerBidShare, 0, len(counts))
+		for slug, n := range counts {
+			shares = append(shares, PartnerBidShare{
+				Slug: slug, Bids: n, Share: float64(n) / float64(max(1, total)),
+			})
+		}
+		sort.Slice(shares, func(i, j int) bool {
+			if shares[i].Bids != shares[j].Bids {
+				return shares[i].Bids > shares[j].Bids
+			}
+			return shares[i].Slug < shares[j].Slug
+		})
+		if k > 0 && len(shares) > k {
+			shares = shares[:k]
+		}
+		out[facet] = shares
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func join(xs []string, sep string) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += sep
+		}
+		out += x
+	}
+	return out
+}

@@ -1,0 +1,328 @@
+package analysis
+
+import (
+	"sort"
+
+	"headerbid/internal/dataset"
+	"headerbid/internal/partners"
+	"headerbid/internal/stats"
+)
+
+// ---------------------------------------------------------------------------
+// Latency (Figures 12, 13, 14, 15, 16)
+// ---------------------------------------------------------------------------
+
+// LatencyCDFResult is Figure 12: the total HB latency distribution with
+// the paper's two annotated markers.
+type LatencyCDFResult struct {
+	ECDF *stats.ECDF // milliseconds
+	// MedianMS is marker (1) in the paper's figure (≈600ms there).
+	MedianMS float64
+	// FracOver1s/3s/5s locate the tail (paper: 35% / ~10% / 4%).
+	FracOver1s float64
+	FracOver3s float64
+	FracOver5s float64
+	Sites      int
+}
+
+// LatencyCDF computes the total HB latency CDF across HB sites.
+func LatencyCDF(recs []*dataset.SiteRecord) LatencyCDFResult {
+	var xs []float64
+	for _, r := range hbRecords(recs) {
+		if r.TotalHBLatencyMS > 0 {
+			xs = append(xs, r.TotalHBLatencyMS)
+		}
+	}
+	e := stats.NewECDF(xs)
+	return LatencyCDFResult{
+		ECDF:       e,
+		MedianMS:   e.Quantile(0.5),
+		FracOver1s: 1 - e.P(1000),
+		FracOver3s: 1 - e.P(3000),
+		FracOver5s: 1 - e.P(5000),
+		Sites:      len(xs),
+	}
+}
+
+// LatencyVsRank reproduces Figure 13: per-rank-bin whisker summaries of
+// HB latency (bins of binWidth ranks, the paper uses 500).
+func LatencyVsRank(recs []*dataset.SiteRecord, binWidth int) []stats.BinSummary {
+	if binWidth <= 0 {
+		binWidth = 500
+	}
+	b := stats.NewBinner(binWidth)
+	for _, r := range hbRecords(recs) {
+		if r.TotalHBLatencyMS > 0 {
+			b.Add(r.Rank-1, r.TotalHBLatencyMS)
+		}
+	}
+	return b.Summaries()
+}
+
+// PartnerLatencySummary is one partner's observed latency profile.
+type PartnerLatencySummary struct {
+	Slug    string
+	Stats   stats.Box // milliseconds
+	Samples int
+}
+
+// PartnerLatencies aggregates observed per-partner bid latencies across
+// the dataset (the raw material of Figures 14 and 16).
+func PartnerLatencies(recs []*dataset.SiteRecord) []PartnerLatencySummary {
+	byPartner := map[string][]float64{}
+	for _, r := range hbRecords(recs) {
+		for slug, ls := range r.PartnerLatencyMS {
+			byPartner[slug] = append(byPartner[slug], ls...)
+		}
+	}
+	out := make([]PartnerLatencySummary, 0, len(byPartner))
+	for slug, xs := range byPartner {
+		box, err := stats.BoxOf(xs)
+		if err != nil {
+			continue
+		}
+		out = append(out, PartnerLatencySummary{Slug: slug, Stats: box, Samples: len(xs)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Slug < out[j].Slug })
+	return out
+}
+
+// PartnerLatencyExtremes is Figure 14: the fastest partners, the top
+// partners by market share, and the slowest partners.
+type PartnerLatencyExtremes struct {
+	Fastest []PartnerLatencySummary
+	Top     []PartnerLatencySummary
+	Slowest []PartnerLatencySummary
+}
+
+// LatencyExtremes computes Figure 14. k bounds each group; minSamples
+// filters out partners with too few observations to summarize honestly.
+func LatencyExtremes(recs []*dataset.SiteRecord, reg *partners.Registry, k, minSamples int) PartnerLatencyExtremes {
+	all := PartnerLatencies(recs)
+	var eligible []PartnerLatencySummary
+	for _, p := range all {
+		if p.Samples >= minSamples {
+			eligible = append(eligible, p)
+		}
+	}
+	byMedian := append([]PartnerLatencySummary(nil), eligible...)
+	sort.Slice(byMedian, func(i, j int) bool { return byMedian[i].Stats.Median < byMedian[j].Stats.Median })
+
+	res := PartnerLatencyExtremes{}
+	for i := 0; i < k && i < len(byMedian); i++ {
+		res.Fastest = append(res.Fastest, byMedian[i])
+	}
+	for i := 0; i < k && i < len(byMedian); i++ {
+		res.Slowest = append(res.Slowest, byMedian[len(byMedian)-1-i])
+	}
+	// Top market share: popularity order from the registry.
+	bySlug := map[string]PartnerLatencySummary{}
+	for _, p := range all {
+		bySlug[p.Slug] = p
+	}
+	for _, prof := range reg.All() {
+		if len(res.Top) >= k {
+			break
+		}
+		if p, ok := bySlug[prof.Slug]; ok {
+			res.Top = append(res.Top, p)
+		}
+	}
+	return res
+}
+
+// CountLatency is Figure 15: latency and site share at one partner count.
+type CountLatency struct {
+	Partners  int
+	Stats     stats.Box // milliseconds
+	Sites     int
+	SiteShare float64
+}
+
+// LatencyVsPartnerCount reproduces Figure 15.
+func LatencyVsPartnerCount(recs []*dataset.SiteRecord, maxPartners int) []CountLatency {
+	if maxPartners <= 0 {
+		maxPartners = 15
+	}
+	byCount := map[int][]float64{}
+	siteCount := map[int]int{}
+	totalSites := 0
+	for _, r := range dedupeByDomain(hbRecords(recs)) {
+		n := len(r.Partners)
+		if n == 0 {
+			continue
+		}
+		if n > maxPartners {
+			n = maxPartners
+		}
+		siteCount[n]++
+		totalSites++
+	}
+	for _, r := range hbRecords(recs) {
+		n := len(r.Partners)
+		if n == 0 || r.TotalHBLatencyMS <= 0 {
+			continue
+		}
+		if n > maxPartners {
+			n = maxPartners
+		}
+		byCount[n] = append(byCount[n], r.TotalHBLatencyMS)
+	}
+	var out []CountLatency
+	for n := 1; n <= maxPartners; n++ {
+		xs := byCount[n]
+		if len(xs) == 0 {
+			continue
+		}
+		box, err := stats.BoxOf(xs)
+		if err != nil {
+			continue
+		}
+		out = append(out, CountLatency{
+			Partners:  n,
+			Stats:     box,
+			Sites:     siteCount[n],
+			SiteShare: float64(siteCount[n]) / float64(max(1, totalSites)),
+		})
+	}
+	return out
+}
+
+// LatencyVsPopularity reproduces Figure 16: per-popularity-rank-bin
+// latency whiskers (partners ranked by registry popularity, bins of
+// binWidth, the paper uses 10).
+func LatencyVsPopularity(recs []*dataset.SiteRecord, reg *partners.Registry, binWidth int) []stats.BinSummary {
+	if binWidth <= 0 {
+		binWidth = 10
+	}
+	b := stats.NewBinner(binWidth)
+	for _, r := range hbRecords(recs) {
+		for slug, ls := range r.PartnerLatencyMS {
+			rank, ok := reg.PopularityRank(slug)
+			if !ok {
+				continue
+			}
+			for _, l := range ls {
+				b.Add(rank-1, l)
+			}
+		}
+	}
+	return b.Summaries()
+}
+
+// ---------------------------------------------------------------------------
+// Late bids (Figures 17, 18)
+// ---------------------------------------------------------------------------
+
+// LateBidsResult is Figure 17: the distribution of the late-bid fraction
+// among auctions that had at least one late bid, plus context counts.
+type LateBidsResult struct {
+	ECDF *stats.ECDF // percent late per auction, over auctions with late bids
+	// AuctionsWithLate / TotalAuctions give the prevalence.
+	AuctionsWithLate int
+	TotalAuctions    int
+	// FracAuctionsOneLate etc. mirror the paper's counts ("in 60% of the
+	// auctions [with late bids] there was only one late bid...").
+	FracOneLate     float64
+	FracTwoPlus     float64
+	FracFourPlus    float64
+	MedianLateShare float64
+	P90LateShare    float64
+}
+
+// LateBids computes Figure 17.
+func LateBids(recs []*dataset.SiteRecord) LateBidsResult {
+	var shares []float64
+	res := LateBidsResult{}
+	one, twoPlus, fourPlus := 0, 0, 0
+	for _, r := range hbRecords(recs) {
+		for _, a := range r.Auctions {
+			if len(a.Bids) == 0 {
+				continue
+			}
+			res.TotalAuctions++
+			late := 0
+			for _, b := range a.Bids {
+				if b.Late {
+					late++
+				}
+			}
+			if late == 0 {
+				continue
+			}
+			res.AuctionsWithLate++
+			shares = append(shares, 100*float64(late)/float64(len(a.Bids)))
+			if late == 1 {
+				one++
+			}
+			if late >= 2 {
+				twoPlus++
+			}
+			if late >= 4 {
+				fourPlus++
+			}
+		}
+	}
+	res.ECDF = stats.NewECDF(shares)
+	if res.AuctionsWithLate > 0 {
+		res.FracOneLate = float64(one) / float64(res.AuctionsWithLate)
+		res.FracTwoPlus = float64(twoPlus) / float64(res.AuctionsWithLate)
+		res.FracFourPlus = float64(fourPlus) / float64(res.AuctionsWithLate)
+		res.MedianLateShare = res.ECDF.Quantile(0.5)
+		res.P90LateShare = res.ECDF.Quantile(0.9)
+	}
+	return res
+}
+
+// PartnerLateShare is Figure 18: one partner's late-bid rate.
+type PartnerLateShare struct {
+	Slug      string
+	Bids      int
+	LateBids  int
+	LateShare float64
+}
+
+// LateBidsPerPartner computes Figure 18, descending by late share;
+// minBids filters noise; k<=0 returns all.
+func LateBidsPerPartner(recs []*dataset.SiteRecord, k, minBids int) []PartnerLateShare {
+	type acc struct{ bids, late int }
+	byPartner := map[string]*acc{}
+	for _, r := range hbRecords(recs) {
+		for _, a := range r.Auctions {
+			for _, b := range a.Bids {
+				if b.Source == "s2s" {
+					continue // lateness is unobservable server-side
+				}
+				a := byPartner[b.Bidder]
+				if a == nil {
+					a = &acc{}
+					byPartner[b.Bidder] = a
+				}
+				a.bids++
+				if b.Late {
+					a.late++
+				}
+			}
+		}
+	}
+	var out []PartnerLateShare
+	for slug, a := range byPartner {
+		if a.bids < minBids {
+			continue
+		}
+		out = append(out, PartnerLateShare{
+			Slug: slug, Bids: a.bids, LateBids: a.late,
+			LateShare: float64(a.late) / float64(a.bids),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LateShare != out[j].LateShare {
+			return out[i].LateShare > out[j].LateShare
+		}
+		return out[i].Slug < out[j].Slug
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

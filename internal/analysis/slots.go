@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"sort"
+
+	"headerbid/internal/dataset"
+	"headerbid/internal/hb"
+	"headerbid/internal/partners"
+	"headerbid/internal/stats"
+)
+
+// ---------------------------------------------------------------------------
+// Auctioned ad-slots (Figures 19, 20, 21)
+// ---------------------------------------------------------------------------
+
+// SlotsPerSiteResult is Figure 19: per-facet distribution of auctioned
+// slots per site.
+type SlotsPerSiteResult struct {
+	ByFacet map[hb.Facet]*stats.ECDF
+	// FracOver20 is the share of HB sites auctioning more than 20 slots
+	// (the multi-device oddity, ~3% in the paper).
+	FracOver20 float64
+}
+
+// SlotsPerSite computes Figure 19.
+func SlotsPerSite(recs []*dataset.SiteRecord) SlotsPerSiteResult {
+	byFacet := map[hb.Facet][]float64{}
+	over20, total := 0, 0
+	for _, r := range dedupeByDomain(hbRecords(recs)) {
+		if r.AdSlotsAuctioned <= 0 {
+			continue
+		}
+		f := r.FacetValue()
+		byFacet[f] = append(byFacet[f], float64(r.AdSlotsAuctioned))
+		total++
+		if r.AdSlotsAuctioned > 20 {
+			over20++
+		}
+	}
+	res := SlotsPerSiteResult{ByFacet: map[hb.Facet]*stats.ECDF{}}
+	for f, xs := range byFacet {
+		res.ByFacet[f] = stats.NewECDF(xs)
+	}
+	if total > 0 {
+		res.FracOver20 = float64(over20) / float64(total)
+	}
+	return res
+}
+
+// LatencyVsSlots reproduces Figure 20: latency whiskers per auctioned
+// slot count (1..maxSlots, higher counts clamped).
+func LatencyVsSlots(recs []*dataset.SiteRecord, maxSlots int) []CountLatency {
+	if maxSlots <= 0 {
+		maxSlots = 15
+	}
+	byCount := map[int][]float64{}
+	for _, r := range hbRecords(recs) {
+		n := r.AdSlotsAuctioned
+		if n <= 0 || r.TotalHBLatencyMS <= 0 {
+			continue
+		}
+		if n > maxSlots {
+			n = maxSlots
+		}
+		byCount[n] = append(byCount[n], r.TotalHBLatencyMS)
+	}
+	var out []CountLatency
+	for n := 1; n <= maxSlots; n++ {
+		xs := byCount[n]
+		box, err := stats.BoxOf(xs)
+		if err != nil {
+			continue
+		}
+		out = append(out, CountLatency{Partners: n, Stats: box, Sites: len(xs)})
+	}
+	return out
+}
+
+// SizeShare is Figure 21: one slot dimension's share of auctioned slots
+// within a facet.
+type SizeShare struct {
+	Size  hb.Size
+	Slots int
+	Share float64
+}
+
+// SlotSizes computes Figure 21: top slot dimensions per facet; k<=0
+// returns all.
+func SlotSizes(recs []*dataset.SiteRecord, k int) map[hb.Facet][]SizeShare {
+	out := map[hb.Facet][]SizeShare{}
+	for _, facet := range hb.Facets() {
+		counts := map[hb.Size]int{}
+		total := 0
+		for _, r := range hbRecords(recs) {
+			if r.FacetValue() != facet {
+				continue
+			}
+			for _, a := range r.Auctions {
+				sz, err := hb.ParseSize(a.Size)
+				if err != nil {
+					continue
+				}
+				counts[sz]++
+				total++
+			}
+		}
+		shares := make([]SizeShare, 0, len(counts))
+		for sz, n := range counts {
+			shares = append(shares, SizeShare{
+				Size: sz, Slots: n, Share: float64(n) / float64(max(1, total)),
+			})
+		}
+		sort.Slice(shares, func(i, j int) bool {
+			if shares[i].Slots != shares[j].Slots {
+				return shares[i].Slots > shares[j].Slots
+			}
+			return shares[i].Size.String() < shares[j].Size.String()
+		})
+		if k > 0 && len(shares) > k {
+			shares = shares[:k]
+		}
+		out[facet] = shares
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Bid prices (Figures 22, 23, 24)
+// ---------------------------------------------------------------------------
+
+// PriceCDFResult is Figure 22: baseline bid prices per facet.
+type PriceCDFResult struct {
+	ByFacet map[hb.Facet]*stats.ECDF // USD CPM
+	// FracOverHalf is the overall share of bids above 0.5 CPM (the paper
+	// reports >20%).
+	FracOverHalf float64
+}
+
+// PriceCDF computes Figure 22 from every observed bid.
+func PriceCDF(recs []*dataset.SiteRecord) PriceCDFResult {
+	byFacet := map[hb.Facet][]float64{}
+	over, total := 0, 0
+	for _, r := range hbRecords(recs) {
+		f := r.FacetValue()
+		for _, a := range r.Auctions {
+			for _, b := range a.Bids {
+				if b.CPM <= 0 {
+					continue
+				}
+				byFacet[f] = append(byFacet[f], b.CPM)
+				total++
+				if b.CPM > 0.5 {
+					over++
+				}
+			}
+		}
+	}
+	res := PriceCDFResult{ByFacet: map[hb.Facet]*stats.ECDF{}}
+	for f, xs := range byFacet {
+		res.ByFacet[f] = stats.NewECDF(xs)
+	}
+	if total > 0 {
+		res.FracOverHalf = float64(over) / float64(total)
+	}
+	return res
+}
+
+// SizePrice is Figure 23: price distribution for one slot dimension.
+type SizePrice struct {
+	Size  hb.Size
+	Stats stats.Box // USD CPM
+	Bids  int
+}
+
+// PricePerSize computes Figure 23, ordered by slot area (the paper's
+// x-axis ordering); minBids filters sparsely observed sizes.
+func PricePerSize(recs []*dataset.SiteRecord, minBids int) []SizePrice {
+	bySize := map[hb.Size][]float64{}
+	for _, r := range hbRecords(recs) {
+		for _, a := range r.Auctions {
+			for _, b := range a.Bids {
+				if b.CPM <= 0 {
+					continue
+				}
+				sz, err := hb.ParseSize(b.Size)
+				if err != nil {
+					sz, err = hb.ParseSize(a.Size)
+					if err != nil {
+						continue
+					}
+				}
+				bySize[sz] = append(bySize[sz], b.CPM)
+			}
+		}
+	}
+	var out []SizePrice
+	for sz, xs := range bySize {
+		if len(xs) < minBids {
+			continue
+		}
+		box, err := stats.BoxOf(xs)
+		if err != nil {
+			continue
+		}
+		out = append(out, SizePrice{Size: sz, Stats: box, Bids: len(xs)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Size.Area() != out[j].Size.Area() {
+			return out[i].Size.Area() > out[j].Size.Area()
+		}
+		return out[i].Size.String() < out[j].Size.String()
+	})
+	return out
+}
+
+// PriceVsPopularity reproduces Figure 24: bid-price whiskers per
+// partner-popularity bin (bins of binWidth, the paper uses 10).
+func PriceVsPopularity(recs []*dataset.SiteRecord, reg *partners.Registry, binWidth int) []stats.BinSummary {
+	if binWidth <= 0 {
+		binWidth = 10
+	}
+	b := stats.NewBinner(binWidth)
+	for _, r := range hbRecords(recs) {
+		for _, a := range r.Auctions {
+			for _, bd := range a.Bids {
+				if bd.CPM <= 0 {
+					continue
+				}
+				rank, ok := reg.PopularityRank(bd.Bidder)
+				if !ok {
+					continue
+				}
+				b.Add(rank-1, bd.CPM)
+			}
+		}
+	}
+	return b.Summaries()
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"headerbid/internal/dataset"
+	"headerbid/internal/hb"
+	"headerbid/internal/stats"
+)
+
+// TrafficSummary quantifies the §7.3 network-overhead discussion: Header
+// Bidding broadcasts one bid request per demand partner per round (plus
+// the ad-server call, creative fetches, win beacons and sync pixels),
+// multiplying the request volume ad infrastructure must absorb relative
+// to a waterfall that walks a chain sequentially and usually stops at the
+// first tier.
+type TrafficSummary struct {
+	Sites int
+
+	// Per-HB-visit request statistics.
+	BidRequests stats.Box
+	HBRelated   stats.Box
+	Total       stats.Box
+
+	// MeanByFacet: mean HB-related requests per visit per facet — hosted
+	// (server-side) HB collapses the fan-out to one request, which is
+	// exactly why the paper finds the market consolidating there.
+	MeanByFacet map[hb.Facet]float64
+
+	// AmplificationVsWaterfall estimates the bid-request amplification:
+	// HB's per-round partner fan-out versus the waterfall's expected
+	// sequential passes for the same demand (the industry reported up to
+	// 2x volume; we compute it from the crawl).
+	AmplificationVsWaterfall float64
+}
+
+// Traffic computes the overhead summary from a crawl dataset.
+// expectedWaterfallPasses is the mean number of passes a waterfall walks
+// before filling (from the paired waterfall experiment; ~1-2 in practice).
+func Traffic(recs []*dataset.SiteRecord, expectedWaterfallPasses float64) TrafficSummary {
+	var bidReqs, hbRel, total []float64
+	sumByFacet := map[hb.Facet]float64{}
+	cntByFacet := map[hb.Facet]int{}
+	var fanoutSum float64
+	var fanoutN int
+
+	for _, r := range hbRecords(recs) {
+		t := r.Traffic
+		bidReqs = append(bidReqs, float64(t.BidRequests))
+		hbRel = append(hbRel, float64(t.HBRelated()))
+		total = append(total, float64(t.Total()))
+		f := r.FacetValue()
+		sumByFacet[f] += float64(t.HBRelated())
+		cntByFacet[f]++
+		// Fan-out per round: client bid requests plus hosted calls.
+		fanoutSum += float64(t.BidRequests + t.HostedCalls)
+		fanoutN++
+	}
+
+	out := TrafficSummary{Sites: fanoutN, MeanByFacet: map[hb.Facet]float64{}}
+	if b, err := stats.BoxOf(bidReqs); err == nil {
+		out.BidRequests = b
+	}
+	if b, err := stats.BoxOf(hbRel); err == nil {
+		out.HBRelated = b
+	}
+	if b, err := stats.BoxOf(total); err == nil {
+		out.Total = b
+	}
+	for f, sum := range sumByFacet {
+		out.MeanByFacet[f] = sum / float64(max(1, cntByFacet[f]))
+	}
+	if expectedWaterfallPasses > 0 && fanoutN > 0 {
+		out.AmplificationVsWaterfall = (fanoutSum / float64(fanoutN)) / expectedWaterfallPasses
+	}
+	return out
+}

@@ -1,0 +1,310 @@
+// Package browser implements the page-execution engine the detector runs
+// inside: a single-threaded, JS-style event loop per page, a fetch API
+// routed through a webRequest inspector, and a script runtime hook that
+// plays the role of executing the page's header scripts. The engine is
+// written against a small Env seam so identical page/protocol/detector
+// code runs on the virtual-clock simulated network (package simnet) and
+// on a real HTTP loopback network (package livenet) — the repo's
+// equivalent of "chromedriver, but instrumentable".
+package browser
+
+import (
+	"strings"
+	"time"
+
+	"headerbid/internal/events"
+	"headerbid/internal/htmlmeta"
+	"headerbid/internal/webreq"
+)
+
+// Env abstracts the network + time + event-loop substrate a page runs on.
+// Implementations must deliver every callback on a single logical thread.
+type Env interface {
+	// Now returns the environment's current time (virtual or wall).
+	Now() time.Time
+	// After schedules fn on the event loop after d.
+	After(d time.Duration, fn func())
+	// Post schedules fn to run as soon as possible.
+	Post(fn func())
+	// Fetch performs a network request; cb is delivered on the event loop.
+	// Implementations stamp resp.Received.
+	Fetch(req *webreq.Request, cb func(*webreq.Response))
+}
+
+// Options tunes page behaviour.
+type Options struct {
+	// HandlerCost models main-thread occupancy per delivered response
+	// (parse + handler execution). The paper (Section 7.2) points out that
+	// JS is single-threaded, so asynchronous HB responses still queue; a
+	// non-zero cost reproduces that serialization. Zero disables queueing.
+	HandlerCost time.Duration
+	// PageTimeout aborts the visit if the document does not load in time
+	// (the crawler uses 60s, mirroring the paper's crawl policy).
+	PageTimeout time.Duration
+}
+
+// DefaultOptions mirror the crawl configuration in the paper.
+func DefaultOptions() Options {
+	return Options{
+		HandlerCost: 8 * time.Millisecond,
+		PageTimeout: 60 * time.Second,
+	}
+}
+
+// Page is one loaded webpage: its event bus (DOM events), its webRequest
+// inspector, and its single-threaded fetch facade. Page implements the
+// Env shape expected by the HB libraries (prebid.Env, gptlib.Env), adding
+// inspection and main-thread queueing on top of the raw network Env.
+type Page struct {
+	URL       string
+	Bus       *events.Bus
+	Inspector *webreq.Inspector
+
+	env       Env
+	opts      Options
+	busyUntil time.Time
+	closed    bool
+
+	// Doc is the parsed document, set after load.
+	Doc *htmlmeta.Document
+}
+
+// NewPage creates a page bound to env.
+func NewPage(env Env, opts Options) *Page {
+	return &Page{
+		Bus:       events.NewBus(),
+		Inspector: webreq.NewInspector(),
+		env:       env,
+		opts:      opts,
+	}
+}
+
+// Now implements the library Env.
+func (p *Page) Now() time.Time { return p.env.Now() }
+
+// After implements the library Env; callbacks are dropped once the page
+// is closed (navigated away / crawler teardown).
+func (p *Page) After(d time.Duration, fn func()) {
+	p.env.After(d, func() {
+		if !p.closed {
+			fn()
+		}
+	})
+}
+
+// Post schedules fn on the page loop as soon as possible.
+func (p *Page) Post(fn func()) { p.After(0, fn) }
+
+// Close tears the page down; pending callbacks become no-ops, like
+// handlers after navigation.
+func (p *Page) Close() { p.closed = true }
+
+// Closed reports whether the page has been torn down.
+func (p *Page) Closed() bool { return p.closed }
+
+// Fetch implements the library Env: the request is recorded by the
+// inspector, sent through the raw network, and its response delivery is
+// serialized through the page's main thread before cb runs.
+func (p *Page) Fetch(req *webreq.Request, cb func(*webreq.Response)) {
+	if p.closed {
+		return
+	}
+	if req.Sent.IsZero() {
+		req.Sent = p.env.Now()
+	}
+	if req.Referer == "" {
+		req.Referer = p.URL
+	}
+	req.ID = p.Inspector.NextID()
+	p.Inspector.SawRequest(req)
+	p.env.Fetch(req, func(resp *webreq.Response) {
+		if p.closed {
+			return
+		}
+		resp.RequestID = req.ID
+		p.deliver(resp, cb)
+	})
+}
+
+// deliver applies single-threaded queueing: if the main thread is busy
+// handling an earlier response, this one waits its turn, then occupies
+// the thread for HandlerCost.
+func (p *Page) deliver(resp *webreq.Response, cb func(*webreq.Response)) {
+	now := p.env.Now()
+	var wait time.Duration
+	if p.opts.HandlerCost > 0 && p.busyUntil.After(now) {
+		wait = p.busyUntil.Sub(now)
+	}
+	start := now.Add(wait)
+	p.busyUntil = start.Add(p.opts.HandlerCost)
+	run := func() {
+		if p.closed {
+			return
+		}
+		resp.Received = p.env.Now()
+		p.Inspector.SawResponse(resp)
+		cb(resp)
+	}
+	if wait <= 0 {
+		run()
+		return
+	}
+	p.env.After(wait, run)
+}
+
+// ScriptRuntime interprets the scripts found in a loaded document — the
+// stand-in for a JS engine. Implementations (package pagert) recognize
+// known HB library URLs and drive the corresponding protocol emulation.
+type ScriptRuntime interface {
+	// RunScripts is called once the document and its header scripts have
+	// been fetched. settle must be invoked when page activity concludes
+	// (it is safe to never call it; the crawler enforces deadlines).
+	RunScripts(p *Page, doc *htmlmeta.Document, settle func())
+}
+
+// VisitResult summarizes a completed page visit.
+type VisitResult struct {
+	URL        string
+	Loaded     bool
+	TimedOut   bool
+	Err        string
+	DocLatency time.Duration
+	Scripts    int
+	Settled    bool
+}
+
+// Browser loads pages on an Env using a ScriptRuntime.
+type Browser struct {
+	Env     Env
+	Runtime ScriptRuntime
+	Opts    Options
+}
+
+// New creates a browser.
+func New(env Env, rt ScriptRuntime, opts Options) *Browser {
+	return &Browser{Env: env, Runtime: rt, Opts: opts}
+}
+
+// Visit loads url in a fresh page (clean slate: new bus, new inspector —
+// the crawler's stateless policy) and invokes done when the document has
+// loaded and scripts have been started, or on failure/timeout. Page
+// activity continues after done; callers decide how long to let it settle.
+func (b *Browser) Visit(url string, done func(*Page, *VisitResult)) *Page {
+	page := NewPage(b.Env, b.Opts)
+	page.URL = url
+	res := &VisitResult{URL: url}
+	started := b.Env.Now()
+	finished := false
+	finish := func() {
+		if !finished && done != nil {
+			finished = true
+			done(page, res)
+		}
+	}
+
+	if b.Opts.PageTimeout > 0 {
+		b.Env.After(b.Opts.PageTimeout, func() {
+			if !finished {
+				res.TimedOut = true
+				page.Close()
+				finish()
+			}
+		})
+	}
+
+	docReq := &webreq.Request{URL: url, Method: webreq.GET, Kind: webreq.KindDocument}
+	page.Fetch(docReq, func(resp *webreq.Response) {
+		if finished {
+			return
+		}
+		res.DocLatency = b.Env.Now().Sub(started)
+		if resp.Err != "" || !resp.OK() {
+			res.Err = errString(resp)
+			finish()
+			return
+		}
+		res.Loaded = true
+		doc := htmlmeta.Parse(resp.Body)
+		page.Doc = doc
+		b.loadScripts(page, doc, func() {
+			if b.Runtime != nil {
+				b.Runtime.RunScripts(page, doc, func() { res.Settled = true })
+			}
+			finish()
+		})
+	})
+	return page
+}
+
+// loadScripts fetches each external script in document order (these
+// fetches are what the request inspector and the static analyzer both
+// see) and calls ready when all have been answered.
+func (b *Browser) loadScripts(page *Page, doc *htmlmeta.Document, ready func()) {
+	var srcs []string
+	for _, s := range doc.Scripts {
+		if s.Src != "" {
+			srcs = append(srcs, s.Src)
+		}
+	}
+	page.Doc = doc
+	remaining := len(srcs)
+	if remaining == 0 {
+		ready()
+		return
+	}
+	for _, src := range srcs {
+		req := &webreq.Request{URL: src, Method: webreq.GET, Kind: webreq.KindScript}
+		page.Fetch(req, func(*webreq.Response) {
+			remaining--
+			if remaining == 0 {
+				ready()
+			}
+		})
+	}
+	_ = srcs
+}
+
+func errString(resp *webreq.Response) string {
+	if resp.Err != "" {
+		return resp.Err
+	}
+	return "http status " + itoa(resp.Status)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// IsKnownHBLibrary reports whether a script URL loads one of the HB
+// libraries the tool analyzes (prebid.js and variants, gpt.js,
+// pubfood.js). Shared by the dynamic runtime and the static analyzer.
+func IsKnownHBLibrary(src string) bool {
+	s := strings.ToLower(src)
+	for _, needle := range []string{
+		"prebid", "gpt.js", "googletagservices", "pubfood",
+		"pbjs", "hb-wrapper", "headerbid",
+	} {
+		if strings.Contains(s, needle) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,203 @@
+// Package clock provides time sources and a deterministic discrete-event
+// scheduler. The scheduler is the heart of the simulated-network
+// environment: it models a single-threaded JavaScript-style event loop in
+// virtual time, so a crawl of tens of thousands of pages finishes in
+// milliseconds of wall time while preserving the ordering and timing
+// semantics of the real protocol.
+package clock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is a source of time. Production code uses Wall; simulations use a
+// Scheduler, whose Now advances only when events run.
+type Clock interface {
+	Now() time.Time
+}
+
+// Wall is a Clock backed by the system clock.
+type Wall struct{}
+
+// Now returns the current wall-clock time.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Epoch is the virtual time origin used by simulations. The particular
+// date is arbitrary but fixed so runs are reproducible; it corresponds to
+// the paper's crawl period (February 2019).
+var Epoch = time.Date(2019, time.February, 1, 0, 0, 0, 0, time.UTC)
+
+// event is a scheduled callback.
+type event struct {
+	at  time.Time
+	seq uint64 // tie-breaker: FIFO among events at the same instant
+	fn  func()
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler is a deterministic discrete-event executor with a virtual
+// clock. It is strictly single-threaded: callbacks scheduled with At or
+// After run, in timestamp order, from within Run. This mirrors the
+// single-threaded JS event loop that the paper identifies as a source of
+// HB latency (Section 7.2): even "parallel" asynchronous work serializes
+// through one executor.
+//
+// The zero value is ready to use and starts at Epoch.
+type Scheduler struct {
+	now     time.Time
+	seq     uint64
+	queue   eventQueue
+	running bool
+	stopped bool
+	steps   uint64
+	maxStep uint64
+}
+
+// NewScheduler returns a scheduler whose clock starts at start. If start
+// is the zero time, Epoch is used.
+func NewScheduler(start time.Time) *Scheduler {
+	if start.IsZero() {
+		start = Epoch
+	}
+	return &Scheduler{now: start}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time {
+	if s.now.IsZero() {
+		s.now = Epoch
+	}
+	return s.now
+}
+
+// At schedules fn to run at the given virtual time. Times in the past are
+// clamped to the present (the callback runs on the next Run step).
+func (s *Scheduler) At(t time.Time, fn func()) {
+	if fn == nil {
+		panic("clock: At called with nil callback")
+	}
+	if t.Before(s.Now()) {
+		t = s.Now()
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from the current virtual time. Negative
+// durations are treated as zero.
+func (s *Scheduler) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.Now().Add(d), fn)
+}
+
+// Post schedules fn to run as soon as possible, after events already due.
+func (s *Scheduler) Post(fn func()) { s.After(0, fn) }
+
+// Pending reports the number of events waiting to run.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// SetStepLimit bounds the number of callbacks Run may execute; 0 means no
+// limit. It guards against runaway feedback loops in simulations.
+func (s *Scheduler) SetStepLimit(n uint64) { s.maxStep = n }
+
+// Steps reports how many callbacks have been executed so far.
+func (s *Scheduler) Steps() uint64 { return s.steps }
+
+// Stop makes Run return after the currently executing callback. Pending
+// events remain queued.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes queued events in order until the queue drains, Stop is
+// called, or the step limit is reached. It returns the number of events
+// executed during this call.
+func (s *Scheduler) Run() int {
+	if s.running {
+		panic("clock: Run called reentrantly")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+
+	executed := 0
+	for len(s.queue) > 0 && !s.stopped {
+		if s.maxStep > 0 && s.steps >= s.maxStep {
+			break
+		}
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.at.After(s.now) {
+			s.now = ev.at
+		}
+		s.steps++
+		executed++
+		ev.fn()
+	}
+	return executed
+}
+
+// RunUntil executes queued events whose time is <= deadline; the clock is
+// advanced to deadline afterwards even if no event lands exactly there.
+// It returns the number of events executed.
+func (s *Scheduler) RunUntil(deadline time.Time) int {
+	if s.running {
+		panic("clock: RunUntil called reentrantly")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+
+	executed := 0
+	for len(s.queue) > 0 && !s.stopped {
+		if s.maxStep > 0 && s.steps >= s.maxStep {
+			break
+		}
+		if s.queue[0].at.After(deadline) {
+			break
+		}
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.at.After(s.now) {
+			s.now = ev.at
+		}
+		s.steps++
+		executed++
+		ev.fn()
+	}
+	if deadline.After(s.now) {
+		s.now = deadline
+	}
+	return executed
+}
+
+// RunFor is RunUntil(now + d).
+func (s *Scheduler) RunFor(d time.Duration) int {
+	return s.RunUntil(s.Now().Add(d))
+}
+
+// String describes the scheduler state, useful in test failures.
+func (s *Scheduler) String() string {
+	return fmt.Sprintf("Scheduler{now=%s pending=%d steps=%d}",
+		s.Now().Format(time.RFC3339Nano), len(s.queue), s.steps)
+}

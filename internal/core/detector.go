@@ -1,0 +1,684 @@
+// Package core implements HBDetector, the paper's contribution: a
+// browser-side transparency tool that detects Header Bidding activity in
+// real time by combining two observation channels (Figure 3):
+//
+//   - an HTML DOM event inspector — a content script subscribing to the
+//     events HB libraries fire (auctionInit, bidResponse, auctionEnd,
+//     bidWon, slotRenderEnded, ...), which no other ad protocol triggers;
+//   - a WebRequest inspector — every request/response the page makes,
+//     filtered against the known demand-partner list and the HB-specific
+//     parameter vocabulary (hb_bidder, hb_pb, ...).
+//
+// From the combined signal the detector classifies the page's HB facet
+// (client-side, server-side, hybrid), reconstructs auctions and bids with
+// their prices and latencies, identifies late bids, and measures the total
+// HB latency — everything the paper's analysis consumes.
+//
+// The detector observes; it never alters page traffic.
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"headerbid/internal/browser"
+	"headerbid/internal/events"
+	"headerbid/internal/hb"
+	"headerbid/internal/partners"
+	"headerbid/internal/urlkit"
+	"headerbid/internal/webreq"
+)
+
+// BidObs is one observed bid.
+type BidObs struct {
+	Bidder  string
+	CPM     float64 // USD CPM (0 when the price was not visible)
+	Size    hb.Size
+	Late    bool
+	Latency time.Duration
+	// Source is "client" for bids seen as bidResponse events, "s2s" for
+	// winners mined from server-side response parameters.
+	Source string
+}
+
+// AuctionObs is one reconstructed auction (one ad unit).
+type AuctionObs struct {
+	ID       string
+	AdUnit   string
+	Size     hb.Size
+	Start    time.Time
+	End      time.Time
+	Bids     []BidObs
+	Winner   *BidObs
+	Rendered bool
+	Failed   bool
+}
+
+// LateBids counts the auction's late bids.
+func (a *AuctionObs) LateBids() int {
+	n := 0
+	for _, b := range a.Bids {
+		if b.Late {
+			n++
+		}
+	}
+	return n
+}
+
+// Observation is everything HBDetector learned about one page visit.
+type Observation struct {
+	URL    string
+	Domain string
+
+	// HB is the headline verdict.
+	HB bool
+	// Facet is the classified deployment style.
+	Facet hb.Facet
+	// Libraries lists the HB libraries whose events were seen.
+	Libraries []string
+
+	// PartnersSeen lists demand partners contacted via web requests
+	// (registrable-domain match against the partner list), the signal
+	// behind Figures 8-10.
+	PartnersSeen []string
+	// WinnersSeen lists partners that won auctions, including server-side
+	// winners only visible in response parameters (Figure 11).
+	WinnersSeen []string
+
+	Auctions []AuctionObs
+
+	// TotalHBLatency: first bid request to ad-server response for
+	// client/hybrid; the hosted-auction round trip for server-side.
+	TotalHBLatency time.Duration
+
+	// PartnerLatency maps partner slug to observed bid-request latencies
+	// for exchanges that concluded within the auction deadline.
+	PartnerLatency map[string][]time.Duration
+	// PartnerLateLatency holds the latencies of responses that missed the
+	// wrapper deadline (they feed the late-bid analysis, not the partner
+	// latency profiles).
+	PartnerLateLatency map[string][]time.Duration
+
+	// AdSlotsAuctioned counts slots offered for auction (which can exceed
+	// the slots actually displayed — the multi-device oddity of §5.3).
+	AdSlotsAuctioned int
+
+	EventCount   int
+	RequestCount int
+	RenderFails  int
+
+	// Traffic breaks the page's requests down by role — the raw material
+	// of the §7.3 network-overhead discussion (HB's broadcast fan-out
+	// roughly doubled the request volume ad infrastructure must absorb).
+	Traffic TrafficCounts
+}
+
+// TrafficCounts categorizes a page's observed requests.
+type TrafficCounts struct {
+	BidRequests int // client-side bid POSTs to demand partners
+	HostedCalls int // hosted (s2s) auction requests
+	AdServer    int // ad-server exchanges
+	Creatives   int // creative fetches
+	Beacons     int // win notifications + sync pixels
+	Scripts     int // library/script loads
+	Other       int
+}
+
+// Total sums all categories.
+func (t TrafficCounts) Total() int {
+	return t.BidRequests + t.HostedCalls + t.AdServer + t.Creatives +
+		t.Beacons + t.Scripts + t.Other
+}
+
+// HBRelated sums the categories attributable to the HB protocol itself.
+func (t TrafficCounts) HBRelated() int {
+	return t.BidRequests + t.HostedCalls + t.AdServer + t.Creatives + t.Beacons
+}
+
+// Bids returns all observed bids across auctions.
+func (o *Observation) Bids() []BidObs {
+	var out []BidObs
+	for _, a := range o.Auctions {
+		out = append(out, a.Bids...)
+	}
+	return out
+}
+
+// Detector is one page's HBDetector instance. Attach it before the page
+// loads; call Observation after the page settles.
+type Detector struct {
+	registry *partners.Registry
+	domains  map[string]bool
+	page     *browser.Page
+
+	// event-channel state
+	auctions    map[string]*auctionState
+	auctionIDs  []string
+	libs        map[string]bool
+	eventCount  int
+	renderFails int
+	// render outcomes keyed by ad unit (events may precede auction wiring)
+	rendered map[string]bool
+	failed   map[string]bool
+	sizes    map[string]hb.Size
+
+	// request-channel state
+	partnerSeen     map[string]bool
+	winnerSeen      map[string]bool
+	partnerLats     map[string][]time.Duration
+	partnerLateLats map[string][]time.Duration
+	timedOut        map[string]bool // bidders whose current round timed out
+	bidReqFirst     time.Time
+	adSrvResponded  time.Time
+	adSrvIsPartner  bool
+	hostedReq       time.Time
+	hostedResp      time.Time
+	hostedProvider  string
+	hostedSlots     []slotSpec
+	s2sWinners      []s2sWin
+	requestCount    int
+	hbParamSeen     bool
+	traffic         TrafficCounts
+}
+
+// slotSpec is one slot offered in a hosted-auction request.
+type slotSpec struct {
+	Code string
+	Size hb.Size
+}
+
+// s2sWin is a server-side winner mined from response parameters, tied to
+// the slot it filled.
+type s2sWin struct {
+	Bid  BidObs
+	Slot string
+}
+
+type auctionState struct {
+	obs      AuctionObs
+	ended    bool
+	endTime  time.Time
+	bidTimes []time.Time
+}
+
+// Options selects the detector's observation channels. The paper argues
+// (§3.1) that combining both channels is what removes false positives and
+// negatives; disabling one reproduces the ablated single-method detectors
+// for comparison.
+type Options struct {
+	// Events enables the DOM event inspector (method 2).
+	Events bool
+	// Requests enables the WebRequest inspector (method 3).
+	Requests bool
+}
+
+// FullOptions is the paper's combined configuration.
+func FullOptions() Options { return Options{Events: true, Requests: true} }
+
+// Attach wires a detector to a page with both channels enabled (content
+// script + webRequest hooks), the paper's configuration.
+func Attach(page *browser.Page, reg *partners.Registry) *Detector {
+	return AttachWithOptions(page, reg, FullOptions())
+}
+
+// AttachWithOptions wires a detector with selected channels.
+func AttachWithOptions(page *browser.Page, reg *partners.Registry, opts Options) *Detector {
+	d := &Detector{
+		registry:        reg,
+		domains:         reg.Domains(),
+		page:            page,
+		auctions:        make(map[string]*auctionState),
+		libs:            make(map[string]bool),
+		rendered:        make(map[string]bool),
+		failed:          make(map[string]bool),
+		sizes:           make(map[string]hb.Size),
+		partnerSeen:     make(map[string]bool),
+		winnerSeen:      make(map[string]bool),
+		partnerLats:     make(map[string][]time.Duration),
+		partnerLateLats: make(map[string][]time.Duration),
+		timedOut:        make(map[string]bool),
+	}
+	if opts.Events {
+		page.Bus.SubscribeAll(d.onEvent)
+	}
+	if opts.Requests {
+		page.Inspector.OnRequest(d.onRequest)
+		page.Inspector.OnResponse(d.onResponse)
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// DOM event channel
+// ---------------------------------------------------------------------------
+
+func (d *Detector) onEvent(e events.Event) {
+	if !e.Type.Valid() {
+		return
+	}
+	d.eventCount++
+	if e.Library != "" {
+		d.libs[e.Library] = true
+	}
+	switch e.Type {
+	case events.AuctionInit:
+		st := d.auction(e.AuctionID)
+		st.obs.AdUnit = e.AdUnit
+		st.obs.Start = e.Time
+	case events.BidResponse:
+		st := d.auction(e.AuctionID)
+		bid := BidObs{
+			Bidder: e.Bidder,
+			CPM:    e.CPM,
+			Size:   e.Size,
+			Source: "client",
+		}
+		// Lateness is the detector's own judgement: a response event
+		// after the auction ended missed the deadline.
+		if st.ended && e.Time.After(st.endTime) {
+			bid.Late = true
+		}
+		if lat, ok := d.lastPartnerLatency(e.Bidder, bid.Late); ok {
+			bid.Latency = lat
+		}
+		st.obs.Bids = append(st.obs.Bids, bid)
+		st.bidTimes = append(st.bidTimes, e.Time)
+	case events.BidTimeout:
+		// The bidder missed the wrapper deadline; its (eventual) response
+		// latency belongs in the late-bid analysis, not the partner
+		// latency profile (Figures 14/16 summarize concluded exchanges).
+		d.timedOut[e.Bidder] = true
+	case events.AuctionEnd:
+		st := d.auction(e.AuctionID)
+		st.ended = true
+		st.endTime = e.Time
+		st.obs.End = e.Time
+	case events.BidWon:
+		st := d.auction(e.AuctionID)
+		for i := range st.obs.Bids {
+			if st.obs.Bids[i].Bidder == e.Bidder && !st.obs.Bids[i].Late {
+				st.obs.Winner = &st.obs.Bids[i]
+				break
+			}
+		}
+		if st.obs.Winner == nil {
+			w := BidObs{Bidder: e.Bidder, CPM: e.CPM, Size: e.Size, Source: "client"}
+			st.obs.Bids = append(st.obs.Bids, w)
+			st.obs.Winner = &st.obs.Bids[len(st.obs.Bids)-1]
+		}
+		d.winnerSeen[e.Bidder] = true
+	case events.SlotRenderEnded:
+		d.rendered[e.AdUnit] = true
+		if !e.Size.IsZero() {
+			d.sizes[e.AdUnit] = e.Size
+		}
+		// Server-side winners surface in the creative parameters attached
+		// to the render event.
+		d.mineTargeting(e.Params, e.Time)
+	case events.AdRenderFailed:
+		d.renderFails++
+		d.failed[e.AdUnit] = true
+	}
+}
+
+func (d *Detector) auction(id string) *auctionState {
+	st, ok := d.auctions[id]
+	if !ok {
+		st = &auctionState{}
+		st.obs.ID = id
+		d.auctions[id] = st
+		d.auctionIDs = append(d.auctionIDs, id)
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// WebRequest channel
+// ---------------------------------------------------------------------------
+
+func (d *Detector) onRequest(req *webreq.Request) {
+	d.requestCount++
+	host := req.Host()
+	params := req.Params()
+	d.countTraffic(req, params)
+
+	// Known-partner matching. Only HB-flavored traffic marks a partner as
+	// participating (the paper extracts partner counts from "the incoming
+	// web requests that trigger corresponding HB events"); cookie-sync
+	// pixels and generic tracking to the same domains do not.
+	if p, ok := d.registry.ByURL(req.URL); ok {
+		if isHBEndpoint(req.URL) {
+			d.partnerSeen[p.Slug] = true
+		}
+		if strings.Contains(req.URL, "/ssp/auction") {
+			d.hostedReq = req.Sent
+			d.hostedProvider = p.Slug
+			d.hostedSlots = parseSlotSpecs(params["slots"])
+		}
+		if strings.Contains(req.URL, "/hb/v1/bid") && d.bidReqFirst.IsZero() {
+			d.bidReqFirst = req.Sent
+		}
+		if strings.Contains(req.URL, "/gampad/") {
+			d.adSrvIsPartner = true
+		}
+	}
+
+	// HB parameter vocabulary in any request (creative fetches included).
+	for k := range params {
+		if hb.IsTargetingKey(k) {
+			d.hbParamSeen = true
+			break
+		}
+	}
+	// Server-side winner mining from creative requests.
+	if strings.Contains(req.URL, "/render") {
+		d.mineTargeting(params, req.Sent)
+	}
+	_ = host
+}
+
+func (d *Detector) onResponse(req *webreq.Request, resp *webreq.Response) {
+	lat := resp.Received.Sub(req.Sent)
+	if p, ok := d.registry.ByURL(req.URL); ok {
+		switch {
+		case strings.Contains(req.URL, "/hb/v1/bid"):
+			if !resp.OK() {
+				break // failed exchanges carry no usable latency sample
+			}
+			if d.timedOut[p.Slug] {
+				d.partnerLateLats[p.Slug] = append(d.partnerLateLats[p.Slug], lat)
+				delete(d.timedOut, p.Slug)
+			} else {
+				d.partnerLats[p.Slug] = append(d.partnerLats[p.Slug], lat)
+			}
+		case strings.Contains(req.URL, "/ssp/auction"):
+			if resp.OK() {
+				d.hostedResp = resp.Received
+			}
+		case strings.Contains(req.URL, "/gampad/"):
+			if resp.OK() {
+				d.adSrvResponded = resp.Received
+			}
+		}
+	}
+	// The publisher's own ad server is recognized by shape, not by list:
+	// a slots= request that either carries hb_* key-values or goes to the
+	// page's first-party ad-server host (the no-bid rounds of a clean-
+	// state crawl set no hb_* keys, but the exchange still closes the HB
+	// round and bounds its latency).
+	params := req.Params()
+	if _, hasSlots := params["slots"]; hasSlots && !d.adSrvIsPartner && resp.OK() {
+		firstParty := urlkit.SameRegistrableDomain(req.Host(), urlkit.Host(d.page.URL))
+		hasHBKey := false
+		for k := range params {
+			if hb.IsTargetingKey(stripSlotSuffix(k)) {
+				hasHBKey = true
+				break
+			}
+		}
+		if hasHBKey || firstParty {
+			d.adSrvResponded = resp.Received
+		}
+	}
+}
+
+// isHBEndpoint reports whether a partner URL belongs to the HB protocol
+// itself (bid requests, hosted auctions, partner-run ad servers, win
+// notifications) rather than side-channel tracking.
+func isHBEndpoint(url string) bool {
+	return strings.Contains(url, "/hb/v1/bid") ||
+		strings.Contains(url, "/ssp/auction") ||
+		strings.Contains(url, "/gampad/") ||
+		strings.Contains(url, "/win")
+}
+
+// countTraffic categorizes one request for the overhead analysis.
+func (d *Detector) countTraffic(req *webreq.Request, params map[string]string) {
+	switch {
+	case strings.Contains(req.URL, "/hb/v1/bid"):
+		d.traffic.BidRequests++
+	case strings.Contains(req.URL, "/ssp/auction"):
+		d.traffic.HostedCalls++
+	case strings.Contains(req.URL, "/gampad/"):
+		d.traffic.AdServer++
+	case req.Kind == webreq.KindCreative || strings.Contains(req.URL, "/render"):
+		d.traffic.Creatives++
+	case req.Kind == webreq.KindBeacon ||
+		strings.Contains(req.URL, "/win") || strings.Contains(req.URL, "/pixel"):
+		d.traffic.Beacons++
+	case req.Kind == webreq.KindScript:
+		d.traffic.Scripts++
+	default:
+		if _, hasSlots := params["slots"]; hasSlots {
+			d.traffic.AdServer++
+		} else {
+			d.traffic.Other++
+		}
+	}
+}
+
+// mineTargeting extracts server-side HB winners from hb_* parameters.
+func (d *Detector) mineTargeting(params map[string]string, at time.Time) {
+	t := hb.ParseTargeting(params)
+	if t == nil {
+		return
+	}
+	d.hbParamSeen = true
+	bidder := t.Bidder()
+	if bidder == "" {
+		return
+	}
+	d.winnerSeen[bidder] = true
+	if src := t[hb.KeySource]; src == "s2s" {
+		cpm, _ := t.Price()
+		// Prefer the exact hb_price over the bucketed hb_pb when present.
+		if raw, ok := params[hb.KeyPrice]; ok {
+			var f float64
+			if _, err := sscanFloat(raw, &f); err == nil {
+				cpm = f
+			}
+		}
+		size, _ := t.Size()
+		d.s2sWinners = append(d.s2sWinners, s2sWin{
+			Bid:  BidObs{Bidder: bidder, CPM: cpm, Size: size, Source: "s2s"},
+			Slot: params["slot"],
+		})
+	}
+}
+
+// lastPartnerLatency returns the most recent observed bid latency for a
+// partner (pairs the bidResponse event to its transport exchange). Late
+// responses live in the separate late-latency series.
+func (d *Detector) lastPartnerLatency(slug string, late bool) (time.Duration, bool) {
+	ls := d.partnerLats[slug]
+	if late && len(d.partnerLateLats[slug]) > 0 {
+		ls = d.partnerLateLats[slug]
+	}
+	if len(ls) == 0 {
+		return 0, false
+	}
+	return ls[len(ls)-1], true
+}
+
+func parseSlotSpecs(s string) []slotSpec {
+	if s == "" {
+		return nil
+	}
+	var out []slotSpec
+	for _, spec := range strings.Split(s, ",") {
+		parts := strings.Split(spec, "|")
+		sp := slotSpec{Code: parts[0]}
+		if len(parts) > 1 {
+			if sz, err := hb.ParseSize(parts[1]); err == nil {
+				sp.Size = sz
+			}
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+func stripSlotSuffix(k string) string {
+	if i := strings.IndexByte(k, '.'); i > 0 {
+		return k[:i]
+	}
+	return k
+}
+
+// sscanFloat parses a float; it mirrors fmt.Sscanf's (n, err) shape.
+func sscanFloat(s string, out *float64) (int, error) {
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, err
+	}
+	*out = f
+	return 1, nil
+}
+
+// ---------------------------------------------------------------------------
+// Verdict
+// ---------------------------------------------------------------------------
+
+// Observation finalizes and returns what the detector learned. Call it
+// after the page has settled; it is idempotent.
+func (d *Detector) Observation() *Observation {
+	o := &Observation{
+		URL:                d.page.URL,
+		Domain:             urlkit.RegistrableDomain(urlkit.Host(d.page.URL)),
+		PartnerLatency:     d.partnerLats,
+		PartnerLateLatency: d.partnerLateLats,
+		EventCount:         d.eventCount,
+		RequestCount:       d.requestCount,
+		RenderFails:        d.renderFails,
+		Traffic:            d.traffic,
+	}
+	for lib := range d.libs {
+		o.Libraries = append(o.Libraries, lib)
+	}
+	sort.Strings(o.Libraries)
+	for s := range d.partnerSeen {
+		o.PartnersSeen = append(o.PartnersSeen, s)
+	}
+	sort.Strings(o.PartnersSeen)
+	for s := range d.winnerSeen {
+		o.WinnersSeen = append(o.WinnersSeen, s)
+	}
+	sort.Strings(o.WinnersSeen)
+
+	// Client-channel auctions.
+	clientAuctions := false
+	for _, id := range d.auctionIDs {
+		st := d.auctions[id]
+		a := st.obs
+		if a.AdUnit != "" {
+			a.Rendered = d.rendered[a.AdUnit]
+			a.Failed = d.failed[a.AdUnit]
+			if sz, ok := d.sizes[a.AdUnit]; ok && a.Size.IsZero() {
+				a.Size = sz
+			}
+		}
+		if len(a.Bids) > 0 || !a.Start.IsZero() {
+			clientAuctions = true
+		}
+		o.Auctions = append(o.Auctions, a)
+	}
+
+	// Server-channel auctions: every slot offered in the hosted request is
+	// an auction the page ran remotely; slots whose responses carried an
+	// s2s winner get that winner as their (only visible) bid.
+	hostedFlow := !d.hostedReq.IsZero()
+	if hostedFlow && !clientAuctions {
+		winBySlot := make(map[string]*s2sWin, len(d.s2sWinners))
+		for i := range d.s2sWinners {
+			winBySlot[d.s2sWinners[i].Slot] = &d.s2sWinners[i]
+		}
+		for i, sp := range d.hostedSlots {
+			a := AuctionObs{
+				ID:       o.Domain + "-ss-" + itoa(i+1),
+				AdUnit:   sp.Code,
+				Size:     sp.Size,
+				Start:    d.hostedReq,
+				End:      d.hostedResp,
+				Rendered: d.rendered[sp.Code],
+				Failed:   d.failed[sp.Code],
+			}
+			if w, ok := winBySlot[sp.Code]; ok {
+				a.Bids = []BidObs{w.Bid}
+				a.Winner = &a.Bids[0]
+			}
+			o.Auctions = append(o.Auctions, a)
+		}
+	} else if clientAuctions && len(d.s2sWinners) > 0 {
+		// Hybrid pages: attach server-side winners to the matching client
+		// auction as additional (server-sourced) bids.
+		byUnit := make(map[string]*AuctionObs, len(o.Auctions))
+		for i := range o.Auctions {
+			byUnit[o.Auctions[i].AdUnit] = &o.Auctions[i]
+		}
+		for _, w := range d.s2sWinners {
+			if a, ok := byUnit[w.Slot]; ok {
+				a.Bids = append(a.Bids, w.Bid)
+				if a.Winner == nil {
+					a.Winner = &a.Bids[len(a.Bids)-1]
+				}
+			}
+		}
+	}
+
+	// Slots auctioned: client auctions plus hosted slot specs.
+	o.AdSlotsAuctioned = len(d.auctionIDs)
+	if hostedFlow && !clientAuctions {
+		o.AdSlotsAuctioned = len(d.hostedSlots)
+	}
+
+	// Facet classification (§4.2): transparent client-side auctions are
+	// events with bid responses; a hosted single round trip with hb_*
+	// response parameters is server-side; both together — or client
+	// auctions pushed to a partner-run ad server — are hybrid.
+	switch {
+	case clientAuctions && (d.adSrvIsPartner || len(d.s2sWinners) > 0):
+		o.HB = true
+		o.Facet = hb.FacetHybrid
+	case clientAuctions:
+		o.HB = true
+		o.Facet = hb.FacetClient
+	case hostedFlow:
+		// The hosted-auction request itself goes to a known partner's HB
+		// endpoint — HB evidence even when no bid cleared the floor and
+		// no hb_* parameter came back (detection method 3, §3.1).
+		o.HB = true
+		o.Facet = hb.FacetServer
+	case d.hbParamSeen && len(o.PartnersSeen) > 0:
+		o.HB = true
+		o.Facet = hb.FacetUnknown
+	}
+
+	// Total HB latency.
+	switch o.Facet {
+	case hb.FacetClient, hb.FacetHybrid:
+		if !d.bidReqFirst.IsZero() && !d.adSrvResponded.IsZero() {
+			o.TotalHBLatency = d.adSrvResponded.Sub(d.bidReqFirst)
+		}
+	case hb.FacetServer:
+		if !d.hostedReq.IsZero() && !d.hostedResp.IsZero() {
+			o.TotalHBLatency = d.hostedResp.Sub(d.hostedReq)
+		}
+	}
+	return o
+}
+
+func itoa(n int) string {
+	if n <= 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

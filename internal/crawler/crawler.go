@@ -1,0 +1,237 @@
+// Package crawler orchestrates the measurement crawl: it visits each site
+// with a clean-slate browser instance (no history, no cookies, no
+// profile), attaches a fresh HBDetector, enforces the paper's timing
+// policy (60s page-load timeout, then five extra seconds for pending
+// responses), and emits one dataset record per visit.
+//
+// Two execution strategies exist:
+//
+//   - Simulated (virtual clock): each site gets its own scheduler and
+//     simulated network, so visits are deterministic and embarrassingly
+//     parallel across worker goroutines — the full 35k crawl runs in
+//     seconds.
+//   - Live (real HTTP): the same visit logic over package livenet, used
+//     by integration tests and the live examples.
+package crawler
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"headerbid/internal/browser"
+	"headerbid/internal/clock"
+	"headerbid/internal/core"
+	"headerbid/internal/dataset"
+	"headerbid/internal/pagert"
+	"headerbid/internal/simnet"
+	"headerbid/internal/sitegen"
+)
+
+// Options tunes the crawl.
+type Options struct {
+	// PageTimeout mirrors the paper's 60-second page-load cutoff.
+	PageTimeout time.Duration
+	// SettleTime is the extra wait after page activity for pending
+	// responses — the paper's "extra five seconds".
+	SettleTime time.Duration
+	// Workers bounds crawl parallelism (simulated mode); 0 = NumCPU.
+	Workers int
+	// Days crawls each HB site this many times (the paper crawled its 5k
+	// HB sites daily for 34 days). Day 0 visits every site; subsequent
+	// days revisit only sites where HB was detected.
+	Days int
+	// Seed namespaces the per-visit randomness.
+	Seed int64
+	// NoQueueing disables the single-threaded JS main-thread model
+	// (browser handler cost), for the §7.2 ablation.
+	NoQueueing bool
+	// Detector overrides the detector channels (nil = both channels, the
+	// paper's configuration), for the detection-method ablation.
+	Detector *core.Options
+}
+
+// DefaultOptions mirror the paper's crawl configuration with one
+// measurement day.
+func DefaultOptions(seed int64) Options {
+	return Options{
+		PageTimeout: 60 * time.Second,
+		SettleTime:  5 * time.Second,
+		Workers:     0,
+		Days:        1,
+		Seed:        seed,
+	}
+}
+
+// Progress is an optional progress callback: visited/total.
+type Progress func(done, total int)
+
+// CrawlWorld runs the full measurement over a generated world on the
+// simulated network and returns all site records (visit order: by day,
+// then rank).
+func CrawlWorld(w *sitegen.World, opts Options, progress Progress) []*dataset.SiteRecord {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	if opts.Days <= 0 {
+		opts.Days = 1
+	}
+
+	type job struct {
+		site *sitegen.Site
+		day  int
+	}
+	type result struct {
+		rec *dataset.SiteRecord
+		idx int
+	}
+
+	// Day 0: everything. Days 1..n-1: HB sites only (decided after day 0).
+	day0 := make([]job, 0, len(w.Sites))
+	for _, s := range w.Sites {
+		day0 = append(day0, job{site: s, day: 0})
+	}
+
+	var all []*dataset.SiteRecord
+	hbDomains := make(map[string]bool)
+
+	runDay := func(jobs []job) []*dataset.SiteRecord {
+		recs := make([]*dataset.SiteRecord, len(jobs))
+		var wg sync.WaitGroup
+		ch := make(chan int)
+		var done int64
+		var mu sync.Mutex
+		for wk := 0; wk < opts.Workers; wk++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range ch {
+					j := jobs[idx]
+					recs[idx] = VisitSimulated(w, j.site, j.day, opts)
+					if progress != nil {
+						mu.Lock()
+						done++
+						progress(int(done), len(jobs))
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		for i := range jobs {
+			ch <- i
+		}
+		close(ch)
+		wg.Wait()
+		return recs
+	}
+
+	recs := runDay(day0)
+	all = append(all, recs...)
+	for _, r := range recs {
+		if r.HB {
+			hbDomains[r.Domain] = true
+		}
+	}
+
+	for day := 1; day < opts.Days; day++ {
+		var jobs []job
+		for _, s := range w.Sites {
+			if hbDomains[s.Domain] {
+				jobs = append(jobs, job{site: s, day: day})
+			}
+		}
+		all = append(all, runDay(jobs)...)
+	}
+	return all
+}
+
+// VisitSimulated performs one clean-slate visit of one site on a private
+// virtual-clock network. Deterministic in (world seed, site, day).
+func VisitSimulated(w *sitegen.World, s *sitegen.Site, day int, opts Options) *dataset.SiteRecord {
+	// Private scheduler + network per visit: the "new, clean instance"
+	// policy from the paper, and what makes visits parallelizable. Only
+	// the hosts this visit can reach are installed.
+	sched := clock.NewScheduler(clock.Epoch.AddDate(0, 0, day))
+	net := simnet.New(sched, visitSeed(opts.Seed, s.Domain, day))
+	w.InstallSimnetFor(net, s)
+
+	env := net.Env()
+	rt := pagert.New(w.Registry)
+	bopts := browser.DefaultOptions()
+	if opts.PageTimeout > 0 {
+		bopts.PageTimeout = opts.PageTimeout
+	}
+	if opts.NoQueueing {
+		bopts.HandlerCost = 0
+	}
+	b := browser.New(env, rt, bopts)
+
+	var page *browser.Page
+	var det *core.Detector
+	var visit *browser.VisitResult
+
+	page = b.Visit(s.PageURL(), func(p *browser.Page, vr *browser.VisitResult) {
+		visit = vr
+	})
+	dopts := core.FullOptions()
+	if opts.Detector != nil {
+		dopts = *opts.Detector
+	}
+	det = core.AttachWithOptions(page, w.Registry, dopts)
+
+	// Drive the virtual clock: the page's whole life, bounded by the page
+	// timeout plus the settle window (timeout + wrapper budget + 5s).
+	budget := bopts.PageTimeout + opts.SettleTime + 15*time.Second
+	sched.RunUntil(sched.Now().Add(budget))
+	page.Close()
+
+	obs := det.Observation()
+	loaded, timedOut, errStr := false, false, ""
+	if visit != nil {
+		loaded, timedOut, errStr = visit.Loaded, visit.TimedOut, visit.Err
+	}
+	rec := dataset.FromObservation(obs, s.Rank, day, loaded, timedOut, errStr)
+	rec.Domain = s.Domain // authoritative (observation derives it from URL)
+	return rec
+}
+
+// visitSeed namespaces per-visit randomness so each (site, day) pair is an
+// independent but reproducible sample.
+func visitSeed(seed int64, domain string, day int) int64 {
+	var h int64 = seed
+	for _, c := range domain {
+		h = h*1099511628211 + int64(c)
+	}
+	return h*31 + int64(day)
+}
+
+// Stats summarizes a crawl for logs.
+type Stats struct {
+	Visits   int
+	Loaded   int
+	TimedOut int
+	HB       int
+}
+
+// StatsOf computes crawl stats.
+func StatsOf(recs []*dataset.SiteRecord) Stats {
+	st := Stats{Visits: len(recs)}
+	for _, r := range recs {
+		if r.Loaded {
+			st.Loaded++
+		}
+		if r.TimedOut {
+			st.TimedOut++
+		}
+		if r.HB {
+			st.HB++
+		}
+	}
+	return st
+}
+
+// String renders the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("visits=%d loaded=%d timedout=%d hb=%d", s.Visits, s.Loaded, s.TimedOut, s.HB)
+}

@@ -1,0 +1,117 @@
+package crawler
+
+import (
+	"testing"
+	"time"
+
+	"headerbid/internal/browser"
+	"headerbid/internal/clock"
+	"headerbid/internal/core"
+	"headerbid/internal/hb"
+	"headerbid/internal/pagert"
+	"headerbid/internal/simnet"
+	"headerbid/internal/sitegen"
+)
+
+// visitWithNet replicates VisitSimulated's wiring but exposes the network
+// so tests can inject faults before the visit.
+func visitWithNet(t *testing.T, w *sitegen.World, s *sitegen.Site,
+	prep func(*simnet.Network)) *core.Observation {
+	t.Helper()
+	sched := clock.NewScheduler(time.Time{})
+	net := simnet.New(sched, 99)
+	w.InstallSimnet(net)
+	if prep != nil {
+		prep(net)
+	}
+
+	env := net.Env()
+	b := browser.New(env, pagert.New(w.Registry), browser.DefaultOptions())
+	page := b.Visit(s.PageURL(), nil)
+	det := core.Attach(page, w.Registry)
+	sched.RunUntil(sched.Now().Add(90 * time.Second))
+	page.Close()
+	return det.Observation()
+}
+
+func faultWorld(t *testing.T) (*sitegen.World, *sitegen.Site) {
+	t.Helper()
+	cfg := sitegen.DefaultConfig(61)
+	cfg.NumSites = 400
+	w := sitegen.Generate(cfg)
+	for _, s := range w.HBSites() {
+		// A hybrid site with several bidders gives faults something to hit.
+		if s.Facet == hb.FacetHybrid && len(s.Partners) >= 4 {
+			return w, s
+		}
+	}
+	t.Fatal("no suitable hybrid site")
+	return nil, nil
+}
+
+func TestDetectionSurvivesPartnerOutage(t *testing.T) {
+	w, site := faultWorld(t)
+	// Kill every bidder endpoint except DFP: bid requests all fail at
+	// transport level, yet the page must still be classified HB (the ad
+	// server round still happens) and must not crash anything.
+	obs := visitWithNet(t, w, site, func(net *simnet.Network) {
+		for _, slug := range site.Partners[1:] {
+			p, _ := w.Registry.BySlug(slug)
+			net.Fault(p.Host, simnet.FaultMode{FailProb: 1, Err: "connection refused"})
+		}
+	})
+	if !obs.HB {
+		t.Fatal("total bidder outage broke HB detection")
+	}
+	for _, a := range obs.Auctions {
+		for _, b := range a.Bids {
+			if b.Source == "client" {
+				t.Fatalf("client bid recorded despite outage: %+v", b)
+			}
+		}
+	}
+}
+
+func TestDetectionSurvivesAdServerOutage(t *testing.T) {
+	w, site := faultWorld(t)
+	obs := visitWithNet(t, w, site, func(net *simnet.Network) {
+		net.Fault("doubleclick.net", simnet.FaultMode{FailProb: 1, Err: "reset"})
+	})
+	// With DFP dark, client-side events still fire: the page is detected
+	// via the event channel; latency is simply unmeasurable.
+	if !obs.HB {
+		t.Fatal("ad-server outage broke detection entirely")
+	}
+	if obs.TotalHBLatency != 0 {
+		t.Fatalf("latency measured without an ad-server response: %v", obs.TotalHBLatency)
+	}
+}
+
+func TestDetectionSurvivesSlowPartners(t *testing.T) {
+	w, site := faultWorld(t)
+	obs := visitWithNet(t, w, site, func(net *simnet.Network) {
+		for _, slug := range site.Partners[1:] {
+			p, _ := w.Registry.BySlug(slug)
+			net.Fault(p.Host, simnet.FaultMode{ExtraLatency: 20 * time.Second})
+		}
+	})
+	if !obs.HB {
+		t.Fatal("slow partners broke detection")
+	}
+	// The wrapper's deadline bounds the round: latency stays near the
+	// site's timeout plus the ad-server exchange, far below the injected
+	// 20s delay.
+	limit := time.Duration(site.TimeoutMS)*time.Millisecond + 5*time.Second
+	if obs.TotalHBLatency <= 0 || obs.TotalHBLatency > limit {
+		t.Fatalf("latency = %v, want (0, %v] (deadline must bound the round)", obs.TotalHBLatency, limit)
+	}
+}
+
+func TestCleanRunMatchesFaultFreeBaseline(t *testing.T) {
+	w, site := faultWorld(t)
+	a := visitWithNet(t, w, site, nil)
+	b := visitWithNet(t, w, site, nil)
+	if a.Facet != b.Facet || a.TotalHBLatency != b.TotalHBLatency {
+		t.Fatal("fault-free visits not reproducible")
+	}
+}

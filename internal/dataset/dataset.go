@@ -1,0 +1,297 @@
+// Package dataset defines the crawl's on-disk records — one JSON line per
+// site visit, mirroring what the paper's extension stored "for further
+// analysis" — plus loading, summarizing (Table 1) and streaming helpers.
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"headerbid/internal/core"
+	"headerbid/internal/hb"
+)
+
+// BidRecord is one observed bid, flattened for serialization.
+type BidRecord struct {
+	Bidder    string  `json:"bidder"`
+	CPM       float64 `json:"cpm"`
+	Size      string  `json:"size,omitempty"`
+	Late      bool    `json:"late,omitempty"`
+	LatencyMS float64 `json:"latency_ms,omitempty"`
+	Source    string  `json:"source,omitempty"`
+}
+
+// AuctionRecord is one reconstructed auction.
+type AuctionRecord struct {
+	ID         string      `json:"id"`
+	AdUnit     string      `json:"ad_unit"`
+	Size       string      `json:"size,omitempty"`
+	DurationMS float64     `json:"duration_ms,omitempty"`
+	Bids       []BidRecord `json:"bids,omitempty"`
+	Winner     string      `json:"winner,omitempty"`
+	WinnerCPM  float64     `json:"winner_cpm,omitempty"`
+	Rendered   bool        `json:"rendered,omitempty"`
+	Failed     bool        `json:"failed,omitempty"`
+}
+
+// SiteRecord is one site visit: the unit of the crawl dataset.
+type SiteRecord struct {
+	Domain   string `json:"domain"`
+	Rank     int    `json:"rank"`
+	VisitDay int    `json:"visit_day"` // 0-based crawl day
+
+	HB        bool     `json:"hb"`
+	Facet     string   `json:"facet,omitempty"`
+	Libraries []string `json:"libraries,omitempty"`
+
+	Partners []string `json:"partners,omitempty"`
+	Winners  []string `json:"winners,omitempty"`
+
+	Auctions []AuctionRecord `json:"auctions,omitempty"`
+
+	TotalHBLatencyMS float64 `json:"hb_latency_ms,omitempty"`
+	AdSlotsAuctioned int     `json:"ad_slots,omitempty"`
+
+	PartnerLatencyMS map[string][]float64 `json:"partner_latency_ms,omitempty"`
+
+	// Traffic breaks the visit's requests down by role (§7.3 overhead).
+	Traffic TrafficRecord `json:"traffic,omitempty"`
+
+	Loaded   bool   `json:"loaded"`
+	TimedOut bool   `json:"timed_out,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// TrafficRecord is the serialized per-visit request breakdown.
+type TrafficRecord struct {
+	BidRequests int `json:"bid_requests,omitempty"`
+	HostedCalls int `json:"hosted_calls,omitempty"`
+	AdServer    int `json:"ad_server,omitempty"`
+	Creatives   int `json:"creatives,omitempty"`
+	Beacons     int `json:"beacons,omitempty"`
+	Scripts     int `json:"scripts,omitempty"`
+	Other       int `json:"other,omitempty"`
+}
+
+// Total sums all categories.
+func (t TrafficRecord) Total() int {
+	return t.BidRequests + t.HostedCalls + t.AdServer + t.Creatives +
+		t.Beacons + t.Scripts + t.Other
+}
+
+// HBRelated sums the HB-attributable categories.
+func (t TrafficRecord) HBRelated() int {
+	return t.BidRequests + t.HostedCalls + t.AdServer + t.Creatives + t.Beacons
+}
+
+// FacetValue parses the record's facet.
+func (r *SiteRecord) FacetValue() hb.Facet { return hb.ParseFacet(r.Facet) }
+
+// FromObservation converts a detector observation into a record.
+func FromObservation(o *core.Observation, rank, day int, loaded, timedOut bool, errStr string) *SiteRecord {
+	rec := &SiteRecord{
+		Domain:           o.Domain,
+		Rank:             rank,
+		VisitDay:         day,
+		HB:               o.HB,
+		Libraries:        o.Libraries,
+		Partners:         o.PartnersSeen,
+		Winners:          o.WinnersSeen,
+		TotalHBLatencyMS: ms(o.TotalHBLatency),
+		AdSlotsAuctioned: o.AdSlotsAuctioned,
+		Traffic: TrafficRecord{
+			BidRequests: o.Traffic.BidRequests,
+			HostedCalls: o.Traffic.HostedCalls,
+			AdServer:    o.Traffic.AdServer,
+			Creatives:   o.Traffic.Creatives,
+			Beacons:     o.Traffic.Beacons,
+			Scripts:     o.Traffic.Scripts,
+			Other:       o.Traffic.Other,
+		},
+		Loaded:   loaded,
+		TimedOut: timedOut,
+		Err:      errStr,
+	}
+	if o.HB {
+		rec.Facet = o.Facet.Short()
+	}
+	if len(o.PartnerLatency) > 0 {
+		rec.PartnerLatencyMS = make(map[string][]float64, len(o.PartnerLatency))
+		for slug, lats := range o.PartnerLatency {
+			for _, l := range lats {
+				rec.PartnerLatencyMS[slug] = append(rec.PartnerLatencyMS[slug], ms(l))
+			}
+		}
+	}
+	for _, a := range o.Auctions {
+		ar := AuctionRecord{
+			ID:       a.ID,
+			AdUnit:   a.AdUnit,
+			Rendered: a.Rendered,
+			Failed:   a.Failed,
+		}
+		if !a.Size.IsZero() {
+			ar.Size = a.Size.String()
+		}
+		if !a.Start.IsZero() && !a.End.IsZero() {
+			ar.DurationMS = ms(a.End.Sub(a.Start))
+		}
+		for _, b := range a.Bids {
+			br := BidRecord{
+				Bidder:    b.Bidder,
+				CPM:       b.CPM,
+				Late:      b.Late,
+				LatencyMS: ms(b.Latency),
+				Source:    b.Source,
+			}
+			if !b.Size.IsZero() {
+				br.Size = b.Size.String()
+			}
+			ar.Bids = append(ar.Bids, br)
+		}
+		if a.Winner != nil {
+			ar.Winner = a.Winner.Bidder
+			ar.WinnerCPM = a.Winner.CPM
+		}
+		rec.Auctions = append(rec.Auctions, ar)
+	}
+	return rec
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Writer appends records to a JSONL stream.
+type Writer struct {
+	w   *bufio.Writer
+	c   io.Closer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps an io.Writer; Close flushes (and closes when the
+// underlying writer is a Closer passed via NewFileWriter).
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// NewFileWriter creates/truncates a JSONL dataset file.
+func NewFileWriter(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	w := NewWriter(f)
+	w.c = f
+	return w, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(rec *SiteRecord) error {
+	w.n++
+	return w.enc.Encode(rec)
+}
+
+// Count reports records written.
+func (w *Writer) Count() int { return w.n }
+
+// Close flushes and closes the underlying file (if any).
+func (w *Writer) Close() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if w.c != nil {
+		return w.c.Close()
+	}
+	return nil
+}
+
+// Read loads all records from a JSONL stream.
+func Read(r io.Reader) ([]*SiteRecord, error) {
+	var out []*SiteRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec SiteRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		out = append(out, &rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	return out, nil
+}
+
+// ReadFile loads a JSONL dataset file.
+func ReadFile(path string) ([]*SiteRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Summary is the dataset roll-up the paper reports as Table 1.
+type Summary struct {
+	SitesCrawled   int
+	SitesWithHB    int
+	Auctions       int
+	Bids           int
+	DemandPartners int
+	CrawlDays      int
+}
+
+// Summarize computes the Table 1 numbers from records.
+func Summarize(recs []*SiteRecord) Summary {
+	s := Summary{}
+	partnerSet := make(map[string]bool)
+	siteSeen := make(map[string]bool)
+	hbSeen := make(map[string]bool)
+	maxDay := -1
+	for _, r := range recs {
+		if !siteSeen[r.Domain] {
+			siteSeen[r.Domain] = true
+			s.SitesCrawled++
+		}
+		if r.VisitDay > maxDay {
+			maxDay = r.VisitDay
+		}
+		if r.HB && !hbSeen[r.Domain] {
+			hbSeen[r.Domain] = true
+			s.SitesWithHB++
+		}
+		s.Auctions += len(r.Auctions)
+		for _, a := range r.Auctions {
+			s.Bids += len(a.Bids)
+		}
+		for _, p := range r.Partners {
+			partnerSet[p] = true
+		}
+		for _, p := range r.Winners {
+			partnerSet[p] = true
+		}
+	}
+	s.DemandPartners = len(partnerSet)
+	s.CrawlDays = maxDay + 1
+	return s
+}
+
+// AdoptionRate returns the fraction of distinct sites with HB.
+func (s Summary) AdoptionRate() float64 {
+	if s.SitesCrawled == 0 {
+		return 0
+	}
+	return float64(s.SitesWithHB) / float64(s.SitesCrawled)
+}

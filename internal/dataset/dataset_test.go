@@ -1,0 +1,204 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"headerbid/internal/core"
+	"headerbid/internal/hb"
+)
+
+func sampleRecords() []*SiteRecord {
+	return []*SiteRecord{
+		{
+			Domain: "a.example", Rank: 1, VisitDay: 0, HB: true, Facet: "hybrid",
+			Partners: []string{"dfp", "appnexus"},
+			Winners:  []string{"appnexus"},
+			Auctions: []AuctionRecord{
+				{ID: "a1", AdUnit: "u1", Size: "300x250",
+					Bids:   []BidRecord{{Bidder: "appnexus", CPM: 0.4}, {Bidder: "rubicon", CPM: 0.1, Late: true}},
+					Winner: "appnexus", WinnerCPM: 0.4, Rendered: true},
+			},
+			TotalHBLatencyMS: 640,
+			AdSlotsAuctioned: 1,
+			Loaded:           true,
+		},
+		{
+			Domain: "b.example", Rank: 2, VisitDay: 0, HB: false, Loaded: true,
+		},
+		{
+			Domain: "a.example", Rank: 1, VisitDay: 1, HB: true, Facet: "hybrid",
+			Partners: []string{"dfp", "appnexus"},
+			Auctions: []AuctionRecord{{ID: "a2", AdUnit: "u1"}},
+			Loaded:   true,
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range sampleRecords() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("read %d records", len(back))
+	}
+	if back[0].Domain != "a.example" || len(back[0].Auctions) != 1 ||
+		len(back[0].Auctions[0].Bids) != 2 || !back[0].Auctions[0].Bids[1].Late {
+		t.Fatalf("record mangled: %+v", back[0])
+	}
+}
+
+func TestFileWriterAndReader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crawl.jsonl")
+	w, err := NewFileWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRecords() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("read %d", len(back))
+	}
+}
+
+func TestReadSkipsBlankRejectsGarbage(t *testing.T) {
+	ok := "{\"domain\":\"x.example\",\"rank\":1,\"visit_day\":0,\"hb\":false,\"loaded\":true}\n\n"
+	recs, err := Read(strings.NewReader(ok))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("recs=%d err=%v", len(recs), err)
+	}
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sampleRecords())
+	if s.SitesCrawled != 2 {
+		t.Fatalf("sites = %d, want 2 (a.example deduped)", s.SitesCrawled)
+	}
+	if s.SitesWithHB != 1 {
+		t.Fatalf("hb sites = %d", s.SitesWithHB)
+	}
+	if s.Auctions != 2 || s.Bids != 2 {
+		t.Fatalf("auctions=%d bids=%d", s.Auctions, s.Bids)
+	}
+	// Partner count derives from Partners+Winners sets: dfp, appnexus.
+	// rubicon appears only inside a bid, not as a contacted partner.
+	if s.DemandPartners != 2 {
+		t.Fatalf("partners = %d, want 2", s.DemandPartners)
+	}
+	if s.CrawlDays != 2 {
+		t.Fatalf("days = %d", s.CrawlDays)
+	}
+	if s.AdoptionRate() != 0.5 {
+		t.Fatalf("adoption = %v", s.AdoptionRate())
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.SitesCrawled != 0 || s.AdoptionRate() != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestFromObservation(t *testing.T) {
+	o := &core.Observation{
+		URL:          "https://www.site.example/",
+		Domain:       "site.example",
+		HB:           true,
+		Facet:        hb.FacetClient,
+		PartnersSeen: []string{"criteo"},
+		Auctions: []core.AuctionObs{
+			{
+				ID: "a1", AdUnit: "u1", Size: hb.SizeMediumRectangle,
+				Start: time.Unix(0, 0), End: time.Unix(0, int64(420*time.Millisecond)),
+				Bids: []core.BidObs{{
+					Bidder: "criteo", CPM: 0.25, Size: hb.SizeMediumRectangle,
+					Latency: 200 * time.Millisecond, Source: "client",
+				}},
+				Rendered: true,
+			},
+		},
+		TotalHBLatency:   700 * time.Millisecond,
+		PartnerLatency:   map[string][]time.Duration{"criteo": {200 * time.Millisecond}},
+		AdSlotsAuctioned: 1,
+	}
+	o.Auctions[0].Winner = &o.Auctions[0].Bids[0]
+	rec := FromObservation(o, 42, 3, true, false, "")
+	if rec.Rank != 42 || rec.VisitDay != 3 || !rec.HB || rec.Facet != "client" {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if rec.TotalHBLatencyMS != 700 {
+		t.Fatalf("latency = %v", rec.TotalHBLatencyMS)
+	}
+	a := rec.Auctions[0]
+	if a.DurationMS != 420 || a.Winner != "criteo" || a.WinnerCPM != 0.25 {
+		t.Fatalf("auction = %+v", a)
+	}
+	if a.Bids[0].LatencyMS != 200 || a.Bids[0].Size != "300x250" {
+		t.Fatalf("bid = %+v", a.Bids[0])
+	}
+	if rec.PartnerLatencyMS["criteo"][0] != 200 {
+		t.Fatalf("partner latency = %v", rec.PartnerLatencyMS)
+	}
+	if rec.FacetValue() != hb.FacetClient {
+		t.Fatalf("facet value = %v", rec.FacetValue())
+	}
+}
+
+func TestFromObservationNonHB(t *testing.T) {
+	o := &core.Observation{Domain: "plain.example"}
+	rec := FromObservation(o, 1, 0, true, false, "")
+	if rec.HB || rec.Facet != "" {
+		t.Fatalf("non-HB rec = %+v", rec)
+	}
+}
+
+func TestLargeRecordRoundTrip(t *testing.T) {
+	// A record bigger than the default bufio scanner token must load.
+	rec := &SiteRecord{Domain: "big.example", Loaded: true, HB: true, Facet: "client"}
+	for i := 0; i < 5000; i++ {
+		rec.Auctions = append(rec.Auctions, AuctionRecord{
+			ID: "a", AdUnit: "u", Bids: []BidRecord{{Bidder: "x", CPM: 1}},
+		})
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	back, err := Read(&buf)
+	if err != nil || len(back) != 1 || len(back[0].Auctions) != 5000 {
+		t.Fatalf("large record: n=%d err=%v", len(back), err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package events models the DOM-level events that HB libraries fire during
+// an auction. The paper's detector works precisely because these events are
+// (a) observable from a content script and (b) triggered only by HB
+// libraries, never by waterfall RTB. The Bus here is the seam where the
+// detector "taps" page activity, like addEventListener on the real DOM.
+package events
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"headerbid/internal/hb"
+)
+
+// Type enumerates the HB library events the detector understands
+// (Section 3.1 of the paper).
+type Type string
+
+const (
+	AuctionInit     Type = "auctionInit"     // the auction has started
+	RequestBids     Type = "requestBids"     // bids have been requested
+	BidRequested    Type = "bidRequested"    // a bid was requested from a partner
+	BidResponse     Type = "bidResponse"     // a response has arrived
+	BidTimeout      Type = "bidTimeout"      // a partner missed the wrapper deadline
+	AuctionEnd      Type = "auctionEnd"      // the auction has ended
+	BidWon          Type = "bidWon"          // a bid has won
+	SetTargeting    Type = "setTargeting"    // targeting pushed to the ad server library
+	SlotRenderEnded Type = "slotRenderEnded" // ad code injected into a slot
+	AdRenderFailed  Type = "adRenderFailed"  // an ad failed to render
+)
+
+// AllTypes lists every event type in protocol order.
+func AllTypes() []Type {
+	return []Type{
+		AuctionInit, RequestBids, BidRequested, BidResponse, BidTimeout,
+		AuctionEnd, BidWon, SetTargeting, SlotRenderEnded, AdRenderFailed,
+	}
+}
+
+// Valid reports whether t is a known event type.
+func (t Type) Valid() bool {
+	for _, k := range AllTypes() {
+		if t == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Event is one HB library event with the metadata the library attaches.
+// Fields are populated according to Type; e.g. a BidResponse carries
+// Bidder, CPM, Currency and Size, while SlotRenderEnded carries AdUnit and
+// Size only.
+type Event struct {
+	Type      Type
+	Time      time.Time
+	AuctionID string
+	AdUnit    string
+	Bidder    string
+	CPM       float64
+	Currency  hb.Currency
+	Size      hb.Size
+	// Params carries library-specific extras (hb_* targeting, deal ids),
+	// exactly the key-values the detector mines for Server-Side HB.
+	Params map[string]string
+	// Library names the emitting wrapper ("prebid.js", "gpt.js", ...).
+	Library string
+}
+
+// String renders a compact human-readable form for logs and test output.
+func (e Event) String() string {
+	return fmt.Sprintf("%s[%s/%s bidder=%s cpm=%.3f %s]",
+		e.Type, e.AuctionID, e.AdUnit, e.Bidder, e.CPM, e.Size)
+}
+
+// Listener consumes events. Listeners run synchronously on the page's
+// event loop, like real DOM handlers.
+type Listener func(Event)
+
+// Bus dispatches events to listeners. It is intentionally synchronous and
+// single-threaded: pages (and the simulation's scheduler) deliver events
+// in order, and the detector relies on that ordering. The zero value is
+// ready to use.
+type Bus struct {
+	nextID    int
+	byType    map[Type]map[int]Listener
+	wildcards map[int]Listener
+	history   []Event
+	keepAll   bool
+}
+
+// NewBus returns an empty bus that also records event history (used by
+// tests and the detector's late analysis passes).
+func NewBus() *Bus {
+	return &Bus{keepAll: true}
+}
+
+// Subscribe registers fn for a single event type and returns an
+// unsubscribe handle.
+func (b *Bus) Subscribe(t Type, fn Listener) (cancel func()) {
+	if b.byType == nil {
+		b.byType = make(map[Type]map[int]Listener)
+	}
+	if b.byType[t] == nil {
+		b.byType[t] = make(map[int]Listener)
+	}
+	id := b.nextID
+	b.nextID++
+	b.byType[t][id] = fn
+	return func() { delete(b.byType[t], id) }
+}
+
+// SubscribeAll registers fn for every event type.
+func (b *Bus) SubscribeAll(fn Listener) (cancel func()) {
+	if b.wildcards == nil {
+		b.wildcards = make(map[int]Listener)
+	}
+	id := b.nextID
+	b.nextID++
+	b.wildcards[id] = fn
+	return func() { delete(b.wildcards, id) }
+}
+
+// Emit delivers e to listeners in deterministic (registration) order and
+// appends it to history.
+func (b *Bus) Emit(e Event) {
+	if b.keepAll || b.history != nil {
+		b.history = append(b.history, e)
+	}
+	if ls := b.byType[e.Type]; len(ls) > 0 {
+		for _, id := range sortedIDs(ls) {
+			ls[id](e)
+		}
+	}
+	if len(b.wildcards) > 0 {
+		for _, id := range sortedIDs(b.wildcards) {
+			b.wildcards[id](e)
+		}
+	}
+}
+
+func sortedIDs(m map[int]Listener) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// History returns all events emitted so far, in order.
+func (b *Bus) History() []Event { return b.history }
+
+// CountByType tallies history by event type.
+func (b *Bus) CountByType() map[Type]int {
+	out := make(map[Type]int)
+	for _, e := range b.history {
+		out[e.Type]++
+	}
+	return out
+}

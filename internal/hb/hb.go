@@ -1,0 +1,362 @@
+// Package hb defines the shared Header Bidding vocabulary: facets
+// (client-side / server-side / hybrid), ad-slot sizes, bids, currencies and
+// the wrapper targeting keys (hb_pb, hb_bidder, ...) that distinguish HB
+// traffic from waterfall RTB. Every other package speaks these types.
+package hb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Facet identifies how a publisher deploys Header Bidding. The paper
+// (Section 4) identifies exactly three facets in the wild.
+type Facet int
+
+const (
+	// FacetUnknown marks pages where HB was detected but the deployment
+	// style could not be classified.
+	FacetUnknown Facet = iota
+	// FacetClient is Client-Side HB: the full auction runs in the browser
+	// and every bid response is visible to the page.
+	FacetClient
+	// FacetServer is Server-Side HB: a single request goes to one demand
+	// partner which runs the auction remotely; only hb_* parameters in the
+	// returned impression reveal HB.
+	FacetServer
+	// FacetHybrid combines both: client-side bids are collected and then
+	// forwarded to an ad server that adds its own server-side bids.
+	FacetHybrid
+)
+
+// String implements fmt.Stringer using the paper's names.
+func (f Facet) String() string {
+	switch f {
+	case FacetClient:
+		return "Client-Side HB"
+	case FacetServer:
+		return "Server-Side HB"
+	case FacetHybrid:
+		return "Hybrid HB"
+	default:
+		return "Unknown HB"
+	}
+}
+
+// Short returns a compact label used in dataset records.
+func (f Facet) Short() string {
+	switch f {
+	case FacetClient:
+		return "client"
+	case FacetServer:
+		return "server"
+	case FacetHybrid:
+		return "hybrid"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseFacet inverts Short; unknown strings map to FacetUnknown.
+func ParseFacet(s string) Facet {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "client", "client-side", "client-side hb":
+		return FacetClient
+	case "server", "server-side", "server-side hb":
+		return FacetServer
+	case "hybrid", "hybrid hb":
+		return FacetHybrid
+	default:
+		return FacetUnknown
+	}
+}
+
+// Facets lists the three real facets in a stable order.
+func Facets() []Facet { return []Facet{FacetClient, FacetServer, FacetHybrid} }
+
+// Size is an ad-slot dimension in CSS pixels, e.g. 300x250.
+type Size struct {
+	W int
+	H int
+}
+
+// String renders the conventional "WxH" form.
+func (s Size) String() string { return fmt.Sprintf("%dx%d", s.W, s.H) }
+
+// Area returns W*H, used to order slot sizes in Figure 23.
+func (s Size) Area() int { return s.W * s.H }
+
+// IsZero reports whether the size is unset.
+func (s Size) IsZero() bool { return s.W == 0 && s.H == 0 }
+
+// ParseSize parses "300x250" (also tolerating "300X250" and surrounding
+// spaces). It returns an error for anything else.
+func ParseSize(str string) (Size, error) {
+	t := strings.TrimSpace(strings.ToLower(str))
+	parts := strings.Split(t, "x")
+	if len(parts) != 2 {
+		return Size{}, fmt.Errorf("hb: malformed size %q", str)
+	}
+	w, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return Size{}, fmt.Errorf("hb: malformed size %q: %v", str, err)
+	}
+	h, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return Size{}, fmt.Errorf("hb: malformed size %q: %v", str, err)
+	}
+	if w <= 0 || h <= 0 {
+		return Size{}, fmt.Errorf("hb: non-positive size %q", str)
+	}
+	return Size{W: w, H: h}, nil
+}
+
+// Common IAB slot sizes observed in the study (Figure 21).
+var (
+	SizeMediumRectangle = Size{300, 250} // "side banner", most popular
+	SizeLeaderboard     = Size{728, 90}  // "top banner"
+	SizeHalfPage        = Size{300, 600}
+	SizeMobileBanner    = Size{320, 50}
+	SizeBillboard       = Size{970, 250}
+	SizeSkyscraper      = Size{160, 600}
+	SizeLargeRectangle  = Size{336, 280}
+	SizeSuperLeader     = Size{970, 90}
+	SizeLargeMobile     = Size{320, 100}
+	SizeFullBanner      = Size{468, 60}
+	SizeWideSkyscraper  = Size{120, 600}
+	SizeMobileSquare    = Size{320, 320}
+	SizeSmallSquare     = Size{100, 200}
+	SizeMobileSlim      = Size{300, 50}
+	SizeSmallRect       = Size{300, 100}
+)
+
+// Currency is an ISO-4217 code. Bid prices in the study are normalized to
+// USD CPM; other currencies occur in the wild and are converted.
+type Currency string
+
+// Currencies seen in HB responses, with fixed conversion rates to USD used
+// by the simulation (rates frozen at the crawl period, Feb 2019).
+const (
+	USD Currency = "USD"
+	EUR Currency = "EUR"
+	GBP Currency = "GBP"
+	JPY Currency = "JPY"
+)
+
+var usdRates = map[Currency]float64{
+	USD: 1.0,
+	EUR: 1.14,
+	GBP: 1.30,
+	JPY: 0.0091,
+}
+
+// ToUSD converts a CPM amount in the given currency to USD. Unknown
+// currencies convert at 1.0 and are flagged by the second return value.
+func ToUSD(amount float64, cur Currency) (float64, bool) {
+	r, ok := usdRates[cur]
+	if !ok {
+		return amount, false
+	}
+	return amount * r, true
+}
+
+// Bid is a single demand-partner bid for one ad unit.
+type Bid struct {
+	AuctionID string
+	AdUnit    string
+	Bidder    string // demand partner slug
+	CPM       float64
+	Currency  Currency
+	Size      Size
+	// Latency is how long the partner took to respond, as seen by the
+	// browser (request sent -> response delivered to the page).
+	Latency time.Duration
+	// Late marks responses that arrived after the wrapper sent collected
+	// bids to the ad server; late bids never participate in the auction.
+	Late bool
+	// DealID is set for private-marketplace deals (rare in a clean-state
+	// crawl; kept for protocol completeness).
+	DealID string
+	// CreativeID identifies the creative served if this bid wins.
+	CreativeID string
+}
+
+// USDCPM returns the bid's CPM converted to USD.
+func (b Bid) USDCPM() float64 {
+	v, _ := ToUSD(b.CPM, b.Currency)
+	return v
+}
+
+// PriceBucket quantizes a CPM to prebid's default "medium" price
+// granularity: $0.10 increments, capped at $20. The bucketed string is
+// what wrappers actually put in hb_pb.
+func PriceBucket(cpm float64) string {
+	if cpm < 0 {
+		cpm = 0
+	}
+	if cpm > 20 {
+		cpm = 20
+	}
+	cents := int(cpm*100) / 10 * 10
+	return fmt.Sprintf("%d.%02d", cents/100, cents%100)
+}
+
+// Targeting keys set by HB wrappers on the ad-server request. Their
+// presence distinguishes HB from waterfall RTB, whose notification URLs
+// use DSP-specific parameter names (Section 3.1).
+const (
+	KeyBidder     = "hb_bidder"
+	KeyPriceBuck  = "hb_pb"
+	KeyAdID       = "hb_adid"
+	KeySize       = "hb_size"
+	KeySource     = "hb_source"
+	KeyFormat     = "hb_format"
+	KeyDeal       = "hb_deal"
+	KeyCacheID    = "hb_cache_id"
+	KeyCurrency   = "hb_currency"
+	KeyPartner    = "hb_partner" // legacy wrappers
+	KeyPrice      = "hb_price"   // legacy wrappers
+	KeyBidderFull = "bidder"     // prebid bid-request parameter
+)
+
+// TargetingKeys returns every hb_* key in a stable order.
+func TargetingKeys() []string {
+	return []string{
+		KeyBidder, KeyPriceBuck, KeyAdID, KeySize, KeySource, KeyFormat,
+		KeyDeal, KeyCacheID, KeyCurrency, KeyPartner, KeyPrice,
+	}
+}
+
+// IsTargetingKey reports whether a query-parameter name is HB-specific.
+// Matching is case-insensitive and accepts bidder-suffixed variants such
+// as "hb_bidder_appnexus", which prebid emits with send-all-bids enabled.
+func IsTargetingKey(name string) bool {
+	n := strings.ToLower(name)
+	if n == KeyBidderFull {
+		return true
+	}
+	if !strings.HasPrefix(n, "hb_") {
+		return false
+	}
+	for _, k := range TargetingKeys() {
+		if n == k || strings.HasPrefix(n, k+"_") {
+			return true
+		}
+	}
+	return false
+}
+
+// Targeting is the key-value set a wrapper pushes to the ad server for one
+// ad unit (Step 3 of the protocol).
+type Targeting map[string]string
+
+// TargetingFromBid derives the standard targeting key-values for a winning
+// client-side bid.
+func TargetingFromBid(b Bid) Targeting {
+	t := Targeting{
+		KeyBidder:    b.Bidder,
+		KeyPriceBuck: PriceBucket(b.USDCPM()),
+		KeyAdID:      b.CreativeID,
+		KeySize:      b.Size.String(),
+		KeySource:    "client",
+		KeyFormat:    "banner",
+	}
+	if b.DealID != "" {
+		t[KeyDeal] = b.DealID
+	}
+	if b.Currency != "" && b.Currency != USD {
+		t[KeyCurrency] = string(b.Currency)
+	}
+	return t
+}
+
+// ParseTargeting extracts the HB key-values from a flat parameter map,
+// returning nil when none are present.
+func ParseTargeting(params map[string]string) Targeting {
+	var t Targeting
+	for k, v := range params {
+		if IsTargetingKey(k) {
+			if t == nil {
+				t = Targeting{}
+			}
+			t[strings.ToLower(k)] = v
+		}
+	}
+	return t
+}
+
+// Bidder returns the bidder named by the targeting set ("" if absent).
+func (t Targeting) Bidder() string {
+	if v, ok := t[KeyBidder]; ok {
+		return v
+	}
+	return t[KeyPartner]
+}
+
+// Price returns the price bucket (hb_pb) or raw price (hb_price) as a
+// float, with ok=false when neither parses.
+func (t Targeting) Price() (float64, bool) {
+	for _, k := range []string{KeyPriceBuck, KeyPrice} {
+		if v, ok := t[k]; ok {
+			if f, err := strconv.ParseFloat(v, 64); err == nil {
+				return f, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Size returns the declared creative size, ok=false when absent/invalid.
+func (t Targeting) Size() (Size, bool) {
+	v, ok := t[KeySize]
+	if !ok {
+		return Size{}, false
+	}
+	s, err := ParseSize(v)
+	if err != nil {
+		return Size{}, false
+	}
+	return s, true
+}
+
+// AuctionOutcome summarizes one completed HB auction for one ad unit.
+type AuctionOutcome struct {
+	AuctionID string
+	AdUnit    string
+	Site      string
+	Facet     Facet
+	Start     time.Time
+	End       time.Time
+	Bids      []Bid
+	Winner    *Bid // nil when no bid met the floor
+	FloorCPM  float64
+	Rendered  bool
+	Failed    bool // adRenderFailed
+}
+
+// Duration returns the auction's total duration.
+func (a AuctionOutcome) Duration() time.Duration { return a.End.Sub(a.Start) }
+
+// OnTimeBids returns the bids that arrived before the wrapper deadline.
+func (a AuctionOutcome) OnTimeBids() []Bid {
+	out := make([]Bid, 0, len(a.Bids))
+	for _, b := range a.Bids {
+		if !b.Late {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// LateBids returns the bids that missed the wrapper deadline.
+func (a AuctionOutcome) LateBids() []Bid {
+	var out []Bid
+	for _, b := range a.Bids {
+		if b.Late {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package hb
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFacetRoundTrip(t *testing.T) {
+	for _, f := range Facets() {
+		if got := ParseFacet(f.Short()); got != f {
+			t.Errorf("ParseFacet(%q) = %v, want %v", f.Short(), got, f)
+		}
+	}
+	if ParseFacet("nonsense") != FacetUnknown {
+		t.Fatal("unknown facet string should parse to FacetUnknown")
+	}
+	if ParseFacet("Client-Side HB") != FacetClient {
+		t.Fatal("long form not parsed")
+	}
+}
+
+func TestFacetStrings(t *testing.T) {
+	if FacetServer.String() != "Server-Side HB" || FacetServer.Short() != "server" {
+		t.Fatal("server facet strings wrong")
+	}
+	if FacetUnknown.String() != "Unknown HB" {
+		t.Fatal("unknown facet string wrong")
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	good := map[string]Size{
+		"300x250":   {300, 250},
+		"728X90":    {728, 90},
+		" 300x250 ": {300, 250},
+	}
+	for in, want := range good {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %v, %v", in, got, err)
+		}
+	}
+	for _, bad := range []string{"", "300", "300x", "x250", "-10x20", "0x0", "axb", "300x250x1"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSizeRoundTripProperty(t *testing.T) {
+	f := func(w, h uint16) bool {
+		if w == 0 || h == 0 {
+			return true
+		}
+		s := Size{int(w), int(h)}
+		got, err := ParseSize(s.String())
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeArea(t *testing.T) {
+	if SizeMediumRectangle.Area() != 75000 {
+		t.Fatalf("300x250 area = %d", SizeMediumRectangle.Area())
+	}
+	var z Size
+	if !z.IsZero() || SizeLeaderboard.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+func TestPriceBucket(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0.00"}, {0.04, "0.00"}, {0.10, "0.10"}, {0.15, "0.10"},
+		{1.234, "1.20"}, {19.99, "19.90"}, {25, "20.00"}, {-1, "0.00"},
+	}
+	for _, c := range cases {
+		if got := PriceBucket(c.in); got != c.want {
+			t.Errorf("PriceBucket(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsTargetingKey(t *testing.T) {
+	yes := []string{"hb_bidder", "HB_PB", "hb_size", "hb_bidder_appnexus", "bidder", "hb_pb_rubicon"}
+	for _, k := range yes {
+		if !IsTargetingKey(k) {
+			t.Errorf("IsTargetingKey(%q) = false", k)
+		}
+	}
+	no := []string{"price", "hb", "hbx_bidder", "utm_source", "", "hb_unknownkey"}
+	for _, k := range no {
+		if IsTargetingKey(k) {
+			t.Errorf("IsTargetingKey(%q) = true", k)
+		}
+	}
+}
+
+func TestTargetingFromBidAndBack(t *testing.T) {
+	b := Bid{
+		Bidder: "appnexus", CPM: 1.25, Currency: USD,
+		Size: Size{300, 250}, CreativeID: "cr-1", DealID: "deal-9",
+	}
+	tg := TargetingFromBid(b)
+	if tg.Bidder() != "appnexus" {
+		t.Fatalf("bidder = %q", tg.Bidder())
+	}
+	price, ok := tg.Price()
+	if !ok || price != 1.20 { // bucketed
+		t.Fatalf("price = %v, %v", price, ok)
+	}
+	size, ok := tg.Size()
+	if !ok || size != b.Size {
+		t.Fatalf("size = %v, %v", size, ok)
+	}
+	if tg[KeyDeal] != "deal-9" {
+		t.Fatal("deal id dropped")
+	}
+}
+
+func TestParseTargeting(t *testing.T) {
+	params := map[string]string{
+		"hb_bidder": "rubicon",
+		"hb_pb":     "0.50",
+		"slot":      "div-1",
+		"noise":     "x",
+	}
+	tg := ParseTargeting(params)
+	if tg == nil || tg.Bidder() != "rubicon" {
+		t.Fatalf("targeting = %v", tg)
+	}
+	if _, ok := tg["slot"]; ok {
+		t.Fatal("non-HB param leaked into targeting")
+	}
+	if ParseTargeting(map[string]string{"a": "b"}) != nil {
+		t.Fatal("no HB params should yield nil")
+	}
+}
+
+func TestTargetingLegacyKeys(t *testing.T) {
+	tg := ParseTargeting(map[string]string{"hb_partner": "criteo", "hb_price": "0.42"})
+	if tg.Bidder() != "criteo" {
+		t.Fatalf("legacy bidder = %q", tg.Bidder())
+	}
+	p, ok := tg.Price()
+	if !ok || p != 0.42 {
+		t.Fatalf("legacy price = %v %v", p, ok)
+	}
+}
+
+func TestCurrencyConversion(t *testing.T) {
+	if v, ok := ToUSD(1, EUR); !ok || v != 1.14 {
+		t.Fatalf("EUR = %v, %v", v, ok)
+	}
+	if v, ok := ToUSD(100, JPY); !ok || v != 0.91 {
+		t.Fatalf("JPY = %v", v)
+	}
+	if v, ok := ToUSD(2, Currency("XXX")); ok || v != 2 {
+		t.Fatalf("unknown currency = %v, %v", v, ok)
+	}
+}
+
+func TestBidUSDCPM(t *testing.T) {
+	b := Bid{CPM: 2, Currency: GBP}
+	if got := b.USDCPM(); got != 2.6 {
+		t.Fatalf("USDCPM = %v", got)
+	}
+}
+
+func TestAuctionOutcomeHelpers(t *testing.T) {
+	now := time.Now()
+	a := AuctionOutcome{
+		Start: now,
+		End:   now.Add(400 * time.Millisecond),
+		Bids: []Bid{
+			{Bidder: "a", Late: false},
+			{Bidder: "b", Late: true},
+			{Bidder: "c", Late: false},
+		},
+	}
+	if a.Duration() != 400*time.Millisecond {
+		t.Fatalf("duration = %v", a.Duration())
+	}
+	if n := len(a.OnTimeBids()); n != 2 {
+		t.Fatalf("on-time = %d", n)
+	}
+	if n := len(a.LateBids()); n != 1 {
+		t.Fatalf("late = %d", n)
+	}
+}
+
+func TestTargetingKeysAllRecognized(t *testing.T) {
+	for _, k := range TargetingKeys() {
+		if !IsTargetingKey(k) {
+			t.Errorf("key %q from TargetingKeys not recognized", k)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package pagert is the page script runtime: the component that plays the
+// role of the JS engine for the header scripts our synthetic publishers
+// embed. It recognizes known HB library script tags, extracts the page's
+// inline wrapper configuration, and drives the matching protocol flow —
+// client-side prebid, hosted server-side HB, or the hybrid combination.
+// The runtime is what makes a generated HTML page "behave"; the detector
+// only ever observes the resulting events and requests, never this code.
+package pagert
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"headerbid/internal/browser"
+	"headerbid/internal/gptlib"
+	"headerbid/internal/htmlmeta"
+	"headerbid/internal/partners"
+	"headerbid/internal/prebid"
+	"headerbid/internal/pubfood"
+	"headerbid/internal/usersync"
+)
+
+// seedFromSite derives a stable per-site seed for side-channel activity.
+func seedFromSite(site string) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range site {
+		h = (h ^ int64(c)) * 1099511628211
+	}
+	return h
+}
+
+// ConfigMarker is the inline-script variable that carries the page's
+// wrapper configuration, the way real publishers inline their prebid
+// setup next to the library include.
+const ConfigMarker = "__hbConfig"
+
+// PageConfig is the publisher's wrapper configuration as embedded in the
+// page. Field names follow the inline-JSON wire format.
+type PageConfig struct {
+	Site          string          `json:"site"`
+	Facet         string          `json:"facet"`             // "client" | "server" | "hybrid" | "" (no HB)
+	Library       string          `json:"library,omitempty"` // "prebid" (default) | "pubfood"
+	TimeoutMS     int             `json:"timeoutMs"`
+	BadWrapper    bool            `json:"badWrapper,omitempty"`
+	SendAllBids   bool            `json:"sendAllBids,omitempty"`
+	AdServerURL   string          `json:"adServer"`
+	ServerPartner string          `json:"serverPartner,omitempty"`
+	FloorCPM      float64         `json:"floorCpm,omitempty"`
+	AdUnits       []prebid.AdUnit `json:"adUnits"`
+}
+
+// InlineScript renders the config as the inline <script> body sitegen
+// embeds in generated pages.
+func (c *PageConfig) InlineScript() (string, error) {
+	blob, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("pagert: encode config: %w", err)
+	}
+	return "var " + ConfigMarker + " = " + string(blob) + ";", nil
+}
+
+// ExtractConfig finds and parses the inline configuration in a document.
+// It returns (nil, nil) when the page carries no HB config.
+func ExtractConfig(doc *htmlmeta.Document) (*PageConfig, error) {
+	for _, s := range doc.Scripts {
+		if s.Src != "" || !strings.Contains(s.Inline, ConfigMarker) {
+			continue
+		}
+		start := strings.IndexByte(s.Inline, '{')
+		end := strings.LastIndexByte(s.Inline, '}')
+		if start < 0 || end <= start {
+			return nil, fmt.Errorf("pagert: malformed inline config")
+		}
+		var cfg PageConfig
+		if err := json.Unmarshal([]byte(s.Inline[start:end+1]), &cfg); err != nil {
+			return nil, fmt.Errorf("pagert: parse inline config: %w", err)
+		}
+		for i := range cfg.AdUnits {
+			if err := cfg.AdUnits[i].NormalizeSizes(); err != nil {
+				return nil, err
+			}
+		}
+		return &cfg, nil
+	}
+	return nil, nil
+}
+
+// Activity reports what the runtime executed on a page, for ground-truth
+// assertions in tests (the detector must agree with this).
+type Activity struct {
+	RanPrebid     bool
+	RanPubfood    bool
+	RanServerSide bool
+	PrebidResult  *prebid.Result
+	PubfoodResult *pubfood.Result
+	ServerResult  *gptlib.ServerSideResult
+	ConfigErr     string
+}
+
+// Runtime implements browser.ScriptRuntime over the partner registry.
+type Runtime struct {
+	Registry *partners.Registry
+	// LastActivity records the most recent page's activity (the crawler
+	// uses one Runtime per page, so this is unambiguous there).
+	LastActivity *Activity
+}
+
+// New creates a runtime.
+func New(reg *partners.Registry) *Runtime { return &Runtime{Registry: reg} }
+
+// RunScripts drives the page's HB behaviour:
+//
+//   - no known HB library or no config  -> nothing happens (non-HB page);
+//   - facet "client"                    -> prebid wrapper, publisher ad server;
+//   - facet "hybrid"                    -> prebid wrapper, DFP-style ad server
+//     that adds its own server-side demand;
+//   - facet "server"                    -> single hosted-auction request.
+//
+// The client/hybrid distinction lives in the ad-server behaviour (and in
+// what the detector can see), not in the wrapper code, mirroring reality.
+func (rt *Runtime) RunScripts(p *browser.Page, doc *htmlmeta.Document, settle func()) {
+	act := &Activity{}
+	rt.LastActivity = act
+
+	hasLib := false
+	for _, s := range doc.Scripts {
+		if s.Src != "" && browser.IsKnownHBLibrary(s.Src) {
+			hasLib = true
+			break
+		}
+	}
+	cfg, err := ExtractConfig(doc)
+	if err != nil {
+		act.ConfigErr = err.Error()
+		settle()
+		return
+	}
+	if !hasLib || cfg == nil || cfg.Facet == "" {
+		// Page without executable HB — including the static-analysis trap
+		// pages that merely *name* an HB library without config.
+		settle()
+		return
+	}
+
+	// User tracking rides along with the HB library load (protocol Step 1):
+	// cookie-sync pixels fan out to the page's demand partners. They run
+	// concurrently with the auction and do not gate settle().
+	var partnerSlugs []string
+	seen := map[string]bool{}
+	for _, u := range cfg.AdUnits {
+		for _, b := range u.Bidders {
+			if !seen[b] {
+				seen[b] = true
+				partnerSlugs = append(partnerSlugs, b)
+			}
+		}
+	}
+	if cfg.ServerPartner != "" {
+		partnerSlugs = append(partnerSlugs, cfg.ServerPartner)
+	}
+	if len(partnerSlugs) > 0 {
+		sync := usersync.New(p, rt.Registry, usersync.DefaultConfig(cfg.Site, partnerSlugs), seedFromSite(cfg.Site))
+		sync.Run(nil)
+	}
+
+	switch cfg.Facet {
+	case "client", "hybrid":
+		if cfg.Library == "pubfood" {
+			act.RanPubfood = true
+			var slots []pubfood.Slot
+			for _, u := range cfg.AdUnits {
+				slots = append(slots, pubfood.Slot{
+					Name: u.Code, Size: u.PrimarySize(), Elem: u.Code,
+				})
+			}
+			var providers []pubfood.BidProvider
+			seen := map[string]bool{}
+			for _, u := range cfg.AdUnits {
+				for _, b := range u.Bidders {
+					if !seen[b] {
+						seen[b] = true
+						providers = append(providers, pubfood.BidProvider{Name: b})
+					}
+				}
+			}
+			lib := pubfood.New(p, p.Bus, rt.Registry, pubfood.Config{
+				Site:        cfg.Site,
+				Slots:       slots,
+				Providers:   providers,
+				TimeoutMS:   cfg.TimeoutMS,
+				AdServerURL: cfg.AdServerURL,
+				FloorCPM:    cfg.FloorCPM,
+			})
+			lib.Start(func(res *pubfood.Result) {
+				act.PubfoodResult = res
+				settle()
+			})
+			return
+		}
+		act.RanPrebid = true
+		w := prebid.New(p, p.Bus, rt.Registry, prebid.Config{
+			Site:        cfg.Site,
+			Page:        p.URL,
+			AdUnits:     cfg.AdUnits,
+			TimeoutMS:   cfg.TimeoutMS,
+			SendAllBids: cfg.SendAllBids,
+			BadWrapper:  cfg.BadWrapper,
+			AdServerURL: cfg.AdServerURL,
+			FloorCPM:    cfg.FloorCPM,
+		})
+		w.RequestBids(func(res *prebid.Result) {
+			act.PrebidResult = res
+			settle()
+		})
+	case "server":
+		act.RanServerSide = true
+		c := gptlib.NewServerSide(p, p.Bus, rt.Registry, gptlib.ServerSideConfig{
+			Site:     cfg.Site,
+			Provider: cfg.ServerPartner,
+			Slots:    gptlib.SlotsFromAdUnits(cfg.AdUnits),
+		})
+		c.Run(func(res *gptlib.ServerSideResult) {
+			act.ServerResult = res
+			settle()
+		})
+	default:
+		act.ConfigErr = "unknown facet " + cfg.Facet
+		settle()
+	}
+}

@@ -1,0 +1,228 @@
+// Package partners models the Demand Partners of the HB ecosystem: the 84
+// companies the paper observed bidding across the crawled sites. Each
+// partner carries a behavioural profile — endpoint hosts, popularity,
+// latency distribution, bid propensity, baseline price distribution and
+// late-bid propensity — calibrated from the paper's Figures 8, 10, 11, 14,
+// 16, 18 and 24. The registry also serves as the detector's "known HB
+// partner list" (Section 3.1, method 3).
+package partners
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"headerbid/internal/rng"
+	"headerbid/internal/urlkit"
+)
+
+// Role flags describe what a partner can do in the ecosystem.
+type Role uint8
+
+const (
+	// RoleBidder can answer client-side bid requests (has a prebid adapter).
+	RoleBidder Role = 1 << iota
+	// RoleAdServer can act as a publisher ad server (DFP, Smart AdServer).
+	RoleAdServer
+	// RoleServerSide offers a hosted server-side HB service.
+	RoleServerSide
+)
+
+// Profile is the static description and behavioural calibration of one
+// demand partner.
+type Profile struct {
+	Slug   string // bidder code as it appears in wrapper configs
+	Name   string // display name used in the paper's figures
+	Host   string // registrable domain of the bid endpoint
+	Roles  Role
+	Weight float64 // popularity weight for publisher selection (Fig 8)
+
+	// Latency calibration: median and p90 of the browser-observed
+	// request->response time, in milliseconds (Fig 14 / Fig 16).
+	MedianMS float64
+	P90MS    float64
+
+	// BidProb is the probability the partner returns a bid for a
+	// clean-state (no user profile) request; the paper observed ~0.3 bids
+	// per auction overall because partners rarely bid on unknown users.
+	BidProb float64
+
+	// PriceMedianUSD / PriceSigma parameterize the lognormal baseline CPM
+	// the partner bids (Fig 22-24). Popular partners bid low and
+	// consistently; obscure ones bid high with large variance.
+	PriceMedianUSD float64
+	PriceSigma     float64
+
+	// LateProb is the probability that a response is delayed past the
+	// wrapper deadline (Fig 17-18): a mix of partner infrastructure and
+	// badly configured wrappers that do not wait for responses.
+	LateProb float64
+
+	// DSPCount is the number of affiliated DSPs in the partner's internal
+	// RTB auction; larger internal auctions add latency variability.
+	DSPCount int
+}
+
+// HasRole reports whether the profile has the given role flag.
+func (p *Profile) HasRole(r Role) bool { return p.Roles&r != 0 }
+
+// BidEndpoint returns the URL wrappers POST bid requests to.
+func (p *Profile) BidEndpoint() string {
+	return fmt.Sprintf("https://bid.%s/hb/v1/bid", p.Host)
+}
+
+// SyncEndpoint returns the user-sync (cookie match) pixel URL.
+func (p *Profile) SyncEndpoint() string {
+	return fmt.Sprintf("https://sync.%s/pixel", p.Host)
+}
+
+// LatencyParams converts the calibrated median/p90 into lognormal (mu,
+// sigma) in milliseconds.
+func (p *Profile) LatencyParams() (mu, sigma float64) {
+	return rng.LogNormalParams(p.MedianMS, p.P90MS)
+}
+
+// SampleLatency draws one response latency for this partner.
+func (p *Profile) SampleLatency(r *rng.Stream) time.Duration {
+	mu, sigma := p.LatencyParams()
+	ms := r.LogNormal(mu, sigma)
+	if ms < 1 {
+		ms = 1
+	}
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// SampleCPM draws one baseline bid price in USD CPM: lognormal around the
+// calibrated median with the calibrated spread, clamped to a sane range.
+func (p *Profile) SampleCPM(r *rng.Stream) float64 {
+	med := p.PriceMedianUSD
+	if med <= 0 {
+		med = 1e-6
+	}
+	v := r.LogNormal(math.Log(med), p.PriceSigma)
+	if v < 0.0001 {
+		v = 0.0001
+	}
+	if v > 20 {
+		v = 20
+	}
+	return v
+}
+
+// Registry is an immutable set of partner profiles with fast lookup by
+// slug and by registrable endpoint domain.
+type Registry struct {
+	profiles []Profile
+	bySlug   map[string]*Profile
+	byDomain map[string]*Profile
+}
+
+// NewRegistry builds a registry from profiles. Duplicate slugs panic: the
+// registry is constructed from the static table below and a duplicate is a
+// programming error.
+func NewRegistry(profiles []Profile) *Registry {
+	r := &Registry{
+		profiles: append([]Profile(nil), profiles...),
+		bySlug:   make(map[string]*Profile, len(profiles)),
+		byDomain: make(map[string]*Profile, len(profiles)),
+	}
+	for i := range r.profiles {
+		p := &r.profiles[i]
+		if _, dup := r.bySlug[p.Slug]; dup {
+			panic("partners: duplicate slug " + p.Slug)
+		}
+		r.bySlug[p.Slug] = p
+		r.byDomain[urlkit.RegistrableDomain(p.Host)] = p
+	}
+	return r
+}
+
+// Default returns the registry of the 84 partners observed in the study.
+func Default() *Registry { return NewRegistry(defaultProfiles()) }
+
+// Len returns the number of partners.
+func (r *Registry) Len() int { return len(r.profiles) }
+
+// All returns the profiles ordered by descending Weight (popularity rank
+// order, as used when the paper bins partners by popularity).
+func (r *Registry) All() []*Profile {
+	out := make([]*Profile, len(r.profiles))
+	for i := range r.profiles {
+		out[i] = &r.profiles[i]
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Weight > out[b].Weight })
+	return out
+}
+
+// Slugs returns all slugs in popularity order.
+func (r *Registry) Slugs() []string {
+	all := r.All()
+	out := make([]string, len(all))
+	for i, p := range all {
+		out[i] = p.Slug
+	}
+	return out
+}
+
+// BySlug looks a partner up by bidder code.
+func (r *Registry) BySlug(slug string) (*Profile, bool) {
+	p, ok := r.bySlug[strings.ToLower(slug)]
+	return p, ok
+}
+
+// ByURL attributes a URL to a partner via registrable-domain matching,
+// the rule the detector applies to web requests.
+func (r *Registry) ByURL(raw string) (*Profile, bool) {
+	host := urlkit.Host(raw)
+	if host == "" {
+		return nil, false
+	}
+	p, ok := r.byDomain[urlkit.RegistrableDomain(host)]
+	return p, ok
+}
+
+// Domains returns the registrable-domain set of all partner endpoints —
+// the "HB list" the WebRequest inspector applies (Figure 3).
+func (r *Registry) Domains() map[string]bool {
+	out := make(map[string]bool, len(r.byDomain))
+	for d := range r.byDomain {
+		out[d] = true
+	}
+	return out
+}
+
+// Bidders returns the partners that can answer client-side bid requests,
+// in popularity order.
+func (r *Registry) Bidders() []*Profile {
+	var out []*Profile
+	for _, p := range r.All() {
+		if p.HasRole(RoleBidder) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ServerSideProviders returns partners offering hosted HB.
+func (r *Registry) ServerSideProviders() []*Profile {
+	var out []*Profile
+	for _, p := range r.All() {
+		if p.HasRole(RoleServerSide) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PopularityRank returns the 1-based popularity rank of a slug (1 = most
+// popular) and false if unknown.
+func (r *Registry) PopularityRank(slug string) (int, bool) {
+	for i, p := range r.All() {
+		if p.Slug == slug {
+			return i + 1, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,406 @@
+// Package prebid emulates the prebid.js header-bidding wrapper, the
+// open-source library behind ~64% of client-side HB deployments and the
+// library whose event API the paper reverse-engineered. The wrapper:
+//
+//  1. fires auctionInit/requestBids for every ad unit,
+//  2. POSTs one OpenRTB bid request per configured bidder (in parallel),
+//  3. collects bidResponse events as partners answer,
+//  4. enforces the wrapper timeout (default 3s) — responses after the
+//     deadline are "late" and excluded from the auction,
+//  5. pushes the winning key-values (hb_bidder, hb_pb, ...) to the
+//     publisher's ad server, and
+//  6. renders the returned creative, firing bidWon / slotRenderEnded /
+//     adRenderFailed.
+//
+// The wrapper is written against a tiny Env seam so the same protocol code
+// runs on the virtual-clock simulated network and on a real HTTP loopback
+// network.
+package prebid
+
+import (
+	"fmt"
+	"time"
+
+	"headerbid/internal/events"
+	"headerbid/internal/hb"
+	"headerbid/internal/partners"
+	"headerbid/internal/rtb"
+	"headerbid/internal/urlkit"
+	"headerbid/internal/webreq"
+)
+
+// Env is the slice of browser capability the wrapper needs. It matches
+// the page environment provided by package browser.
+type Env interface {
+	// Now returns the page's current time.
+	Now() time.Time
+	// After schedules fn on the page's event loop after d.
+	After(d time.Duration, fn func())
+	// Fetch issues an asynchronous request; cb runs on the page's event
+	// loop when the response is delivered (or errors).
+	Fetch(req *webreq.Request, cb func(*webreq.Response))
+}
+
+// AdUnit is one configured ad slot.
+type AdUnit struct {
+	Code    string    `json:"code"`
+	Sizes   []hb.Size `json:"-"`
+	SizeStr []string  `json:"sizes"` // wire form, e.g. ["300x250"]
+	Bidders []string  `json:"bidders"`
+}
+
+// NormalizeSizes fills Sizes from SizeStr (after JSON decoding).
+func (u *AdUnit) NormalizeSizes() error {
+	if len(u.Sizes) > 0 || len(u.SizeStr) == 0 {
+		return nil
+	}
+	for _, s := range u.SizeStr {
+		sz, err := hb.ParseSize(s)
+		if err != nil {
+			return err
+		}
+		u.Sizes = append(u.Sizes, sz)
+	}
+	return nil
+}
+
+// PrimarySize returns the first configured size (the slot's render size).
+func (u *AdUnit) PrimarySize() hb.Size {
+	if len(u.Sizes) == 0 {
+		return hb.SizeMediumRectangle
+	}
+	return u.Sizes[0]
+}
+
+// Config configures one wrapper instance (that is, one publisher page).
+type Config struct {
+	Site        string
+	Page        string
+	AdUnits     []AdUnit
+	TimeoutMS   int  // wrapper deadline; prebid's common default is 3000
+	SendAllBids bool // send hb_*_<bidder> keys for every bidder, not just the winner
+	// BadWrapper reproduces the misconfiguration the paper calls out: the
+	// wrapper contacts the ad server immediately instead of waiting for
+	// bids, so every response arrives "late".
+	BadWrapper bool
+	// AdServerURL is the publisher ad-server endpoint receiving targeting.
+	AdServerURL string
+	// FloorCPM is advisory; the authoritative floor lives in the ad server.
+	FloorCPM float64
+}
+
+// Timeout returns the configured wrapper deadline.
+func (c Config) Timeout() time.Duration {
+	if c.TimeoutMS <= 0 {
+		return 3 * time.Second
+	}
+	return time.Duration(c.TimeoutMS) * time.Millisecond
+}
+
+// BidderResult tracks one bidder's progress within an auction round.
+type BidderResult struct {
+	Bidder    string
+	Requested time.Time
+	Responded time.Time
+	Latency   time.Duration
+	Late      bool
+	Error     string
+	Bids      []hb.Bid
+}
+
+// UnitOutcome is the per-ad-unit auction outcome.
+type UnitOutcome struct {
+	AuctionID string
+	AdUnit    string
+	Start     time.Time
+	End       time.Time
+	Bids      []hb.Bid
+	Winner    *hb.Bid
+	// AdServerLatency is the targeting->response round trip.
+	AdServerLatency time.Duration
+	Rendered        bool
+	RenderFailed    bool
+	Channel         string // ad-server decision channel ("hb", "direct", ...)
+}
+
+// Result is the outcome of one full wrapper round (all ad units). Units
+// point at live outcomes: bids that arrive after the round concluded
+// (late responses) are still appended, which is exactly how the detector
+// observes lateness.
+type Result struct {
+	Site  string
+	Units []*UnitOutcome
+	// FirstBidRequest and AdServerResponded delimit the paper's "total HB
+	// latency" (Section 5.2): first bid request until the ad server is
+	// informed and responds.
+	FirstBidRequest   time.Time
+	AdServerResponded time.Time
+	// Bidders summarizes per-bidder timing.
+	Bidders []BidderResult
+}
+
+// TotalLatency is the paper's per-site HB latency metric.
+func (r *Result) TotalLatency() time.Duration {
+	if r.AdServerResponded.IsZero() || r.FirstBidRequest.IsZero() {
+		return 0
+	}
+	return r.AdServerResponded.Sub(r.FirstBidRequest)
+}
+
+// Wrapper is one page's prebid instance.
+type Wrapper struct {
+	env Env
+	bus *events.Bus
+	reg *partners.Registry
+	cfg Config
+
+	auctionSeq int
+}
+
+// New creates a wrapper. bus receives the wrapper's DOM events; reg maps
+// bidder codes to endpoints.
+func New(env Env, bus *events.Bus, reg *partners.Registry, cfg Config) *Wrapper {
+	return &Wrapper{env: env, bus: bus, reg: reg, cfg: cfg}
+}
+
+// RequestBids runs a full auction round and calls done with the result.
+// It never blocks; all work happens on the page event loop.
+func (w *Wrapper) RequestBids(done func(*Result)) {
+	start := w.env.Now()
+	res := &Result{Site: w.cfg.Site}
+	round := &roundState{
+		wrapper: w,
+		result:  res,
+		pending: make(map[string]bool),
+		units:   make(map[string]*UnitOutcome, len(w.cfg.AdUnits)),
+		done:    done,
+	}
+
+	// Per-unit auction bookkeeping + events.
+	for _, u := range w.cfg.AdUnits {
+		w.auctionSeq++
+		aid := fmt.Sprintf("%s-a%d", w.cfg.Site, w.auctionSeq)
+		uo := &UnitOutcome{AuctionID: aid, AdUnit: u.Code, Start: start}
+		round.units[u.Code] = uo
+		res.Units = append(res.Units, uo)
+		w.emit(events.Event{
+			Type: events.AuctionInit, Time: start, AuctionID: aid,
+			AdUnit: u.Code, Library: "prebid.js",
+		})
+	}
+	w.emit(events.Event{Type: events.RequestBids, Time: start, Library: "prebid.js"})
+
+	bidders := w.collectBidders()
+	if len(bidders) == 0 {
+		// Nothing to do: go straight to the ad server (house/direct only).
+		round.finalizeAuction()
+		return
+	}
+
+	timeout := w.cfg.Timeout()
+	for _, bidder := range bidders {
+		w.sendBidRequest(round, bidder, timeout)
+	}
+
+	if w.cfg.BadWrapper {
+		// Misconfigured wrapper: contact the ad server right away; every
+		// bid response will arrive after finalization and count late.
+		w.env.After(0, round.finalizeAuction)
+	} else {
+		w.env.After(timeout, round.finalizeAuction)
+	}
+}
+
+// collectBidders returns the distinct bidder codes across ad units, in
+// first-seen order.
+func (w *Wrapper) collectBidders() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, u := range w.cfg.AdUnits {
+		for _, b := range u.Bidders {
+			if !seen[b] {
+				seen[b] = true
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// roundState carries one auction round across async callbacks.
+type roundState struct {
+	wrapper        *Wrapper
+	result         *Result
+	pending        map[string]bool // bidders not yet responded
+	units          map[string]*UnitOutcome
+	finalized      bool
+	responded      int
+	rendersPending int
+	done           func(*Result)
+	doneSent       bool
+}
+
+// sendBidRequest issues one bidder's POST covering every ad unit that
+// lists the bidder.
+func (w *Wrapper) sendBidRequest(round *roundState, bidder string, timeout time.Duration) {
+	profile, ok := w.reg.BySlug(bidder)
+	if !ok {
+		// Unknown adapter: prebid logs and skips. Nothing hits the wire.
+		return
+	}
+	var imps []rtb.Impression
+	var unitsForBidder []string
+	for _, u := range w.cfg.AdUnits {
+		if !contains(u.Bidders, bidder) {
+			continue
+		}
+		unitsForBidder = append(unitsForBidder, u.Code)
+		var formats []rtb.Format
+		for _, s := range u.Sizes {
+			formats = append(formats, rtb.Format{W: s.W, H: s.H})
+		}
+		imps = append(imps, rtb.Impression{
+			ID:       u.Code,
+			Banner:   rtb.Banner{Format: formats},
+			FloorCPM: w.cfg.FloorCPM,
+			TagID:    u.Code,
+		})
+	}
+	if len(imps) == 0 {
+		return
+	}
+
+	now := w.env.Now()
+	if round.result.FirstBidRequest.IsZero() {
+		round.result.FirstBidRequest = now
+	}
+	round.pending[bidder] = true
+
+	req := &rtb.BidRequest{
+		ID:   fmt.Sprintf("%s-%s-%d", w.cfg.Site, bidder, now.UnixNano()),
+		Imp:  imps,
+		Site: rtb.Site{Domain: w.cfg.Site, Page: w.cfg.Page},
+		TMax: int(timeout / time.Millisecond),
+		Ext:  map[string]any{"prebid": map[string]any{"bidder": bidder}},
+	}
+	body, err := req.Encode()
+	if err != nil {
+		delete(round.pending, bidder)
+		return
+	}
+
+	for _, code := range unitsForBidder {
+		uo := round.units[code]
+		w.emit(events.Event{
+			Type: events.BidRequested, Time: now, AuctionID: uo.AuctionID,
+			AdUnit: code, Bidder: bidder, Library: "prebid.js",
+			Params: map[string]string{hb.KeyBidderFull: bidder},
+		})
+	}
+
+	httpReq := &webreq.Request{
+		URL:    urlkit.WithParams(profile.BidEndpoint(), map[string]string{hb.KeyBidderFull: bidder}),
+		Method: webreq.POST,
+		Kind:   webreq.KindXHR,
+		Body:   string(body),
+		Sent:   now,
+	}
+	br := BidderResult{Bidder: bidder, Requested: now}
+	round.result.Bidders = append(round.result.Bidders, br)
+	idx := len(round.result.Bidders) - 1
+
+	w.env.Fetch(httpReq, func(resp *webreq.Response) {
+		w.onBidResponse(round, idx, bidder, unitsForBidder, resp)
+	})
+}
+
+// onBidResponse handles one bidder's HTTP response (possibly after the
+// deadline, in which case the bids are recorded as late).
+func (w *Wrapper) onBidResponse(round *roundState, idx int, bidder string, units []string, resp *webreq.Response) {
+	now := w.env.Now()
+	br := &round.result.Bidders[idx]
+	br.Responded = now
+	br.Latency = now.Sub(br.Requested)
+	br.Late = round.finalized
+	round.responded++
+	delete(round.pending, bidder)
+
+	if resp.Err != "" || !resp.OK() {
+		if resp.Err != "" {
+			br.Error = resp.Err
+		} else {
+			br.Error = fmt.Sprintf("http %d", resp.Status)
+		}
+		w.maybeEarlyFinalize(round)
+		return
+	}
+	parsed, err := rtb.DecodeBidResponse([]byte(resp.Body))
+	if err != nil {
+		br.Error = err.Error()
+		w.maybeEarlyFinalize(round)
+		return
+	}
+
+	cur := hb.Currency(parsed.Currency)
+	if cur == "" {
+		cur = hb.USD
+	}
+	for _, seat := range parsed.SeatBid {
+		for _, sb := range seat.Bid {
+			uo, ok := round.units[sb.ImpID]
+			if !ok {
+				continue
+			}
+			bid := hb.Bid{
+				AuctionID:  uo.AuctionID,
+				AdUnit:     sb.ImpID,
+				Bidder:     bidder,
+				CPM:        sb.Price,
+				Currency:   cur,
+				Size:       hb.Size{W: sb.W, H: sb.H},
+				Latency:    br.Latency,
+				Late:       br.Late,
+				CreativeID: sb.CrID,
+				DealID:     sb.DealID,
+			}
+			br.Bids = append(br.Bids, bid)
+			uo.Bids = append(uo.Bids, bid)
+			// The DOM event fires even for late responses — that is
+			// exactly how the detector observes lateness.
+			w.emit(events.Event{
+				Type: events.BidResponse, Time: now, AuctionID: uo.AuctionID,
+				AdUnit: sb.ImpID, Bidder: bidder, CPM: bid.USDCPM(),
+				Currency: cur, Size: bid.Size, Library: "prebid.js",
+				Params: map[string]string{
+					hb.KeyBidder: bidder,
+					hb.KeySize:   bid.Size.String(),
+					"late":       fmt.Sprintf("%v", br.Late),
+				},
+			})
+		}
+	}
+	w.maybeEarlyFinalize(round)
+}
+
+// maybeEarlyFinalize ends the auction before the deadline once every
+// bidder has answered (prebid's normal fast path).
+func (w *Wrapper) maybeEarlyFinalize(round *roundState) {
+	if !round.finalized && len(round.pending) == 0 {
+		round.finalizeAuction()
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *Wrapper) emit(e events.Event) {
+	if w.bus != nil {
+		w.bus.Emit(e)
+	}
+}

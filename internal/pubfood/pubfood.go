@@ -1,0 +1,394 @@
+// Package pubfood emulates the pubfood.js header-bidding library, the
+// third wrapper the paper analyzed (§3.1) alongside prebid.js and gpt.js.
+// Pubfood's protocol role is the same as prebid's — parallel bid requests,
+// a deadline, targeting pushed to the ad server — but its API surface
+// differs: it models "bid providers" and "auction providers" and fires a
+// slightly different event sequence. Detecting it exercises the
+// detector's claim of being library-agnostic over the shared event
+// vocabulary.
+package pubfood
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"headerbid/internal/events"
+	"headerbid/internal/hb"
+	"headerbid/internal/partners"
+	"headerbid/internal/rtb"
+	"headerbid/internal/urlkit"
+	"headerbid/internal/webreq"
+)
+
+// Env is the page capability the library needs.
+type Env interface {
+	Now() time.Time
+	After(d time.Duration, fn func())
+	Fetch(req *webreq.Request, cb func(*webreq.Response))
+}
+
+// Slot is one pubfood slot definition (pubfood separates slots from the
+// bid providers serving them).
+type Slot struct {
+	Name string
+	Size hb.Size
+	Elem string // DOM element id
+}
+
+// BidProvider is one configured demand source.
+type BidProvider struct {
+	Name string // partner slug
+}
+
+// Config is one page's pubfood setup.
+type Config struct {
+	Site        string
+	Slots       []Slot
+	Providers   []BidProvider
+	TimeoutMS   int
+	AdServerURL string
+	FloorCPM    float64
+}
+
+// Timeout returns the auction deadline (pubfood's examples default 2s).
+func (c Config) Timeout() time.Duration {
+	if c.TimeoutMS <= 0 {
+		return 2 * time.Second
+	}
+	return time.Duration(c.TimeoutMS) * time.Millisecond
+}
+
+// SlotResult is one slot's outcome.
+type SlotResult struct {
+	Slot     string
+	Bids     []hb.Bid
+	Winner   *hb.Bid
+	Rendered bool
+}
+
+// Result is a completed pubfood round.
+type Result struct {
+	Site              string
+	Slots             []*SlotResult
+	Started           time.Time
+	AdServerResponded time.Time
+}
+
+// TotalLatency mirrors the paper's HB latency definition.
+func (r *Result) TotalLatency() time.Duration {
+	if r.AdServerResponded.IsZero() {
+		return 0
+	}
+	return r.AdServerResponded.Sub(r.Started)
+}
+
+// Library drives one pubfood round.
+type Library struct {
+	env Env
+	bus *events.Bus
+	reg *partners.Registry
+	cfg Config
+}
+
+// New creates a pubfood library instance.
+func New(env Env, bus *events.Bus, reg *partners.Registry, cfg Config) *Library {
+	return &Library{env: env, bus: bus, reg: reg, cfg: cfg}
+}
+
+// Start runs the round; done receives the result after the ad server
+// responds and renders settle.
+func (l *Library) Start(done func(*Result)) {
+	now := l.env.Now()
+	res := &Result{Site: l.cfg.Site, Started: now}
+	bySlot := make(map[string]*SlotResult, len(l.cfg.Slots))
+	auctionIDs := make(map[string]string, len(l.cfg.Slots))
+	for i, s := range l.cfg.Slots {
+		sr := &SlotResult{Slot: s.Name}
+		bySlot[s.Name] = sr
+		res.Slots = append(res.Slots, sr)
+		aid := fmt.Sprintf("%s-pf%d", l.cfg.Site, i+1)
+		auctionIDs[s.Name] = aid
+		l.emit(events.Event{
+			Type: events.AuctionInit, Time: now, AuctionID: aid,
+			AdUnit: s.Name, Library: "pubfood.js",
+		})
+	}
+	l.emit(events.Event{Type: events.RequestBids, Time: now, Library: "pubfood.js"})
+
+	pending := 0
+	outstanding := map[string]bool{}
+	finalized := false
+	finalize := func() {
+		if finalized {
+			return
+		}
+		finalized = true
+		end := l.env.Now()
+		// Providers that have not answered by the deadline time out; the
+		// event lets observers attribute their eventual responses as late.
+		for name := range outstanding {
+			l.emit(events.Event{
+				Type: events.BidTimeout, Time: end, Bidder: name, Library: "pubfood.js",
+			})
+		}
+		for _, s := range l.cfg.Slots {
+			sr := bySlot[s.Name]
+			l.emit(events.Event{
+				Type: events.AuctionEnd, Time: end, AuctionID: auctionIDs[s.Name],
+				AdUnit: s.Name, Library: "pubfood.js",
+			})
+			for i := range sr.Bids {
+				b := &sr.Bids[i]
+				if sr.Winner == nil || (!b.Late && b.USDCPM() > sr.Winner.USDCPM()) {
+					if !b.Late {
+						sr.Winner = b
+					}
+				}
+			}
+		}
+		l.callAdServer(res, bySlot, auctionIDs, done)
+	}
+
+	for _, p := range l.cfg.Providers {
+		prof, ok := l.reg.BySlug(p.Name)
+		if !ok {
+			continue
+		}
+		pending++
+		outstanding[prof.Slug] = true
+		slug := prof.Slug
+		l.sendBid(prof, bySlot, auctionIDs, &pending, func() {
+			delete(outstanding, slug)
+			if pending == 0 && !finalized {
+				finalize()
+			}
+		})
+	}
+	if pending == 0 {
+		finalize()
+		return
+	}
+	l.env.After(l.cfg.Timeout(), finalize)
+}
+
+// sendBid issues one provider's request covering all slots.
+func (l *Library) sendBid(prof *partners.Profile, bySlot map[string]*SlotResult,
+	auctionIDs map[string]string, pending *int, onDone func()) {
+	now := l.env.Now()
+	var imps []rtb.Impression
+	for _, s := range l.cfg.Slots {
+		imps = append(imps, rtb.Impression{
+			ID:       s.Name,
+			Banner:   rtb.Banner{Format: []rtb.Format{{W: s.Size.W, H: s.Size.H}}},
+			FloorCPM: l.cfg.FloorCPM,
+		})
+		l.emit(events.Event{
+			Type: events.BidRequested, Time: now, AuctionID: auctionIDs[s.Name],
+			AdUnit: s.Name, Bidder: prof.Slug, Library: "pubfood.js",
+		})
+	}
+	breq := rtb.BidRequest{
+		ID:   fmt.Sprintf("pf-%s-%d", prof.Slug, now.UnixNano()),
+		Imp:  imps,
+		Site: rtb.Site{Domain: l.cfg.Site},
+		TMax: int(l.cfg.Timeout() / time.Millisecond),
+	}
+	body, err := json.Marshal(&breq)
+	if err != nil {
+		*pending--
+		onDone()
+		return
+	}
+	req := &webreq.Request{
+		URL:    urlkit.WithParams(prof.BidEndpoint(), map[string]string{hb.KeyBidderFull: prof.Slug}),
+		Method: webreq.POST,
+		Kind:   webreq.KindXHR,
+		Body:   string(body),
+		Sent:   now,
+	}
+	sent := now
+	l.env.Fetch(req, func(resp *webreq.Response) {
+		*pending--
+		defer onDone()
+		if !resp.OK() {
+			return
+		}
+		parsed, err := rtb.DecodeBidResponse([]byte(resp.Body))
+		if err != nil {
+			return
+		}
+		arrive := l.env.Now()
+		late := arrive.Sub(sent) > l.cfg.Timeout()
+		cur := hb.Currency(parsed.Currency)
+		if cur == "" {
+			cur = hb.USD
+		}
+		for _, seat := range parsed.SeatBid {
+			for _, sb := range seat.Bid {
+				sr, ok := bySlot[sb.ImpID]
+				if !ok {
+					continue
+				}
+				bid := hb.Bid{
+					AuctionID: auctionIDs[sb.ImpID],
+					AdUnit:    sb.ImpID,
+					Bidder:    prof.Slug,
+					CPM:       sb.Price,
+					Currency:  cur,
+					Size:      hb.Size{W: sb.W, H: sb.H},
+					Latency:   arrive.Sub(sent),
+					Late:      late,
+				}
+				sr.Bids = append(sr.Bids, bid)
+				l.emit(events.Event{
+					Type: events.BidResponse, Time: arrive,
+					AuctionID: auctionIDs[sb.ImpID], AdUnit: sb.ImpID,
+					Bidder: prof.Slug, CPM: bid.USDCPM(), Currency: cur,
+					Size: bid.Size, Library: "pubfood.js",
+				})
+			}
+		}
+	})
+}
+
+// callAdServer pushes targeting and renders returned creatives.
+func (l *Library) callAdServer(res *Result, bySlot map[string]*SlotResult,
+	auctionIDs map[string]string, done func(*Result)) {
+	now := l.env.Now()
+	params := map[string]string{"site": l.cfg.Site}
+	var specs []string
+	for _, s := range l.cfg.Slots {
+		specs = append(specs, s.Name+"|"+s.Size.String())
+		if w := bySlot[s.Name].Winner; w != nil {
+			for k, v := range hb.TargetingFromBid(*w) {
+				params[k+"."+s.Name] = v
+			}
+		}
+	}
+	params["slots"] = joinComma(specs)
+	l.emit(events.Event{Type: events.SetTargeting, Time: now, Library: "pubfood.js", Params: params})
+
+	req := &webreq.Request{
+		URL:    urlkit.WithParams(l.cfg.AdServerURL, params),
+		Method: webreq.GET,
+		Kind:   webreq.KindXHR,
+		Sent:   now,
+	}
+	l.env.Fetch(req, func(resp *webreq.Response) {
+		res.AdServerResponded = l.env.Now()
+		l.render(res, bySlot, auctionIDs, resp, done)
+	})
+}
+
+func (l *Library) render(res *Result, bySlot map[string]*SlotResult,
+	auctionIDs map[string]string, resp *webreq.Response, done func(*Result)) {
+	pending := 0
+	finish := func() {
+		if pending == 0 && done != nil {
+			done(res)
+			done = nil
+		}
+	}
+	if !resp.OK() {
+		finish()
+		return
+	}
+	for _, line := range splitLines(resp.Body) {
+		parts := splitPipe(line)
+		if len(parts) < 3 || parts[2] == "" {
+			continue
+		}
+		sr, ok := bySlot[parts[0]]
+		if !ok {
+			continue
+		}
+		slotName := parts[0]
+		channel := parts[1]
+		fails := len(parts) > 3 && parts[3] == "fail"
+		pending++
+		l.env.Fetch(&webreq.Request{
+			URL: parts[2], Method: webreq.GET, Kind: webreq.KindCreative, Sent: l.env.Now(),
+		}, func(cresp *webreq.Response) {
+			pending--
+			now := l.env.Now()
+			if fails || !cresp.OK() {
+				l.emit(events.Event{
+					Type: events.AdRenderFailed, Time: now,
+					AuctionID: auctionIDs[slotName], AdUnit: slotName, Library: "pubfood.js",
+				})
+			} else {
+				sr.Rendered = true
+				if channel == "hb" && sr.Winner != nil {
+					l.emit(events.Event{
+						Type: events.BidWon, Time: now, AuctionID: auctionIDs[slotName],
+						AdUnit: slotName, Bidder: sr.Winner.Bidder,
+						CPM: sr.Winner.USDCPM(), Size: sr.Winner.Size, Library: "pubfood.js",
+					})
+				}
+				l.emit(events.Event{
+					Type: events.SlotRenderEnded, Time: now,
+					AuctionID: auctionIDs[slotName], AdUnit: slotName,
+					Size: slotSize(l.cfg.Slots, slotName), Library: "pubfood.js",
+					Params: urlkit.QueryParams(parts[2]),
+				})
+			}
+			finish()
+		})
+	}
+	finish()
+}
+
+func (l *Library) emit(e events.Event) {
+	if l.bus != nil {
+		l.bus.Emit(e)
+	}
+}
+
+func slotSize(slots []Slot, name string) hb.Size {
+	for _, s := range slots {
+		if s.Name == name {
+			return s.Size
+		}
+	}
+	return hb.Size{}
+}
+
+func joinComma(xs []string) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += ","
+		}
+		out += x
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func splitPipe(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '|' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

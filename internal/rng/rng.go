@@ -1,0 +1,212 @@
+// Package rng provides seeded, stream-splittable randomness and the
+// statistical distributions used to calibrate the synthetic ad ecosystem:
+// lognormal latencies, Zipf-like popularity, categorical mixes and bounded
+// Pareto tails. All sampling is deterministic given a seed, which makes
+// crawls and benchmarks reproducible bit-for-bit.
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Stream is a deterministic random stream. It wraps math/rand with
+// convenience samplers. A Stream is not safe for concurrent use; derive
+// per-goroutine child streams with Split.
+type Stream struct {
+	r *rand.Rand
+}
+
+// New returns a stream seeded with seed.
+func New(seed int64) *Stream {
+	return &Stream{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child stream identified by name. Two
+// parents with the same seed and the same name derive identical children,
+// so per-site streams are stable regardless of crawl order.
+func (s *Stream) Split(name string) *Stream {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	mix := int64(h.Sum64())
+	return New(mix ^ s.r.Int63())
+}
+
+// SplitStable derives a child stream from a base seed and a name without
+// consuming state from the parent. Use it when the set of children is
+// dynamic but each child must be independent of enumeration order.
+func SplitStable(seed int64, name string) *Stream {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return New(seed ^ int64(h.Sum64()))
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (s *Stream) Float64() float64 { return s.r.Float64() }
+
+// Intn returns a uniform sample in [0,n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int { return s.r.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (s *Stream) Int63() int64 { return s.r.Int63() }
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (s *Stream) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.r.Float64() < p
+}
+
+// Uniform returns a uniform sample in [lo, hi).
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// UniformInt returns a uniform integer in [lo, hi] inclusive.
+func (s *Stream) UniformInt(lo, hi int) int {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return lo + s.r.Intn(hi-lo+1)
+}
+
+// Normal returns a normal sample with the given mean and stddev.
+func (s *Stream) Normal(mean, stddev float64) float64 {
+	return mean + stddev*s.r.NormFloat64()
+}
+
+// LogNormal returns a lognormal sample: exp(N(mu, sigma)). Latencies of
+// demand partners are modelled lognormally, matching the long-tailed
+// response times the paper reports (medians 41ms-1290ms with heavy tails).
+func (s *Stream) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*s.r.NormFloat64())
+}
+
+// Exponential returns an exponential sample with the given mean.
+func (s *Stream) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return s.r.ExpFloat64() * mean
+}
+
+// Pareto returns a bounded Pareto sample with shape alpha on [lo, hi].
+func (s *Stream) Pareto(alpha, lo, hi float64) float64 {
+	if lo <= 0 || hi <= lo || alpha <= 0 {
+		return lo
+	}
+	u := s.r.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// Perm returns a random permutation of [0,n).
+func (s *Stream) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle shuffles n elements using swap.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// Categorical samples an index proportionally to weights. Zero or negative
+// weights are treated as zero. If all weights are zero it returns 0.
+func (s *Stream) Categorical(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := s.r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// ZipfWeights returns weights proportional to 1/(rank+q)^alpha for ranks
+// 0..n-1. The demand-partner popularity distribution in the paper (DFP at
+// 80% of sites, a long tail of 84 partners) is strongly Zipf-like.
+func ZipfWeights(n int, alpha, q float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1)+q, alpha)
+	}
+	return w
+}
+
+// WeightedSampleWithoutReplacement draws k distinct indices from weights.
+// If k >= len(weights) all indices are returned in weight-biased order.
+func (s *Stream) WeightedSampleWithoutReplacement(weights []float64, k int) []int {
+	n := len(weights)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	// Efraimidis-Spirakis: key = u^(1/w); take top-k keys.
+	type kw struct {
+		idx int
+		key float64
+	}
+	keys := make([]kw, 0, n)
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		u := s.r.Float64()
+		keys = append(keys, kw{i, math.Pow(u, 1/w)})
+	}
+	// Partial selection sort for top-k (n is small, <= a few hundred).
+	if k > len(keys) {
+		k = len(keys)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j].key > keys[best].key {
+				best = j
+			}
+		}
+		keys[i], keys[best] = keys[best], keys[i]
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = keys[i].idx
+	}
+	return out
+}
+
+// LogNormalParams converts a desired median and p90 into (mu, sigma) for
+// LogNormal. This is how partner latency profiles are calibrated straight
+// from the paper's reported medians and tails.
+func LogNormalParams(median, p90 float64) (mu, sigma float64) {
+	if median <= 0 {
+		median = 1e-9
+	}
+	if p90 <= median {
+		p90 = median * 1.01
+	}
+	mu = math.Log(median)
+	// p90 = exp(mu + z90*sigma), z90 ≈ 1.2815515655446004.
+	const z90 = 1.2815515655446004
+	sigma = (math.Log(p90) - mu) / z90
+	return mu, sigma
+}

@@ -1,0 +1,169 @@
+// Package simnet is the virtual-clock network environment: hosts are
+// registered with handlers, requests incur sampled round-trip and service
+// latencies, and everything executes deterministically on a discrete-event
+// scheduler. A crawl of 35,000 pages — hours of simulated protocol time —
+// completes in seconds of wall time, which is what makes regenerating
+// every figure of the paper practical on a laptop.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"headerbid/internal/clock"
+	"headerbid/internal/rng"
+	"headerbid/internal/urlkit"
+	"headerbid/internal/webreq"
+)
+
+// Handler services one request at a virtual host. It returns the response
+// body/status plus the server-side service time; the network adds
+// transport latency around it.
+type Handler func(req *webreq.Request) (status int, body string, service time.Duration)
+
+// FaultMode injects transport-level failures for a host.
+type FaultMode struct {
+	// FailProb is the probability a request errors at transport level.
+	FailProb float64
+	// Err is the error string reported ("connection refused", ...).
+	Err string
+	// ExtraLatency is added to every request to this host.
+	ExtraLatency time.Duration
+}
+
+// Network is a simulated internet: virtual hosts + latency model, driven
+// by a shared scheduler.
+type Network struct {
+	Sched *clock.Scheduler
+
+	hosts   map[string]Handler
+	faults  map[string]FaultMode
+	rng     *rng.Stream
+	seed    int64
+	baseRTT time.Duration
+	jitter  time.Duration
+
+	// Requests counts every Fetch, for traffic accounting.
+	Requests int
+}
+
+// New creates a network on the given scheduler with the given seed.
+func New(sched *clock.Scheduler, seed int64) *Network {
+	return &Network{
+		Sched:   sched,
+		hosts:   make(map[string]Handler),
+		faults:  make(map[string]FaultMode),
+		rng:     rng.New(seed),
+		seed:    seed,
+		baseRTT: 30 * time.Millisecond,
+		jitter:  20 * time.Millisecond,
+	}
+}
+
+// Seed returns the seed the network was created with, so server-side
+// state built per network (per crawl visit) can derive independent but
+// reproducible randomness.
+func (n *Network) Seed() int64 { return n.seed }
+
+// SetRTT adjusts the base round-trip time and jitter of the network.
+func (n *Network) SetRTT(base, jitter time.Duration) {
+	n.baseRTT, n.jitter = base, jitter
+}
+
+// Handle registers (or replaces) a virtual host. Host matching is by
+// exact lower-case hostname.
+func (n *Network) Handle(host string, h Handler) {
+	n.hosts[hostKey(host)] = h
+}
+
+// HandleFunc is Handle with an inline function (symmetry with net/http).
+func (n *Network) HandleFunc(host string, h func(req *webreq.Request) (int, string, time.Duration)) {
+	n.Handle(host, h)
+}
+
+// Fault installs a fault mode for a host.
+func (n *Network) Fault(host string, f FaultMode) {
+	n.faults[hostKey(host)] = f
+}
+
+// ClearFault removes a host's fault mode.
+func (n *Network) ClearFault(host string) {
+	delete(n.faults, hostKey(host))
+}
+
+// Hosts returns the number of registered hosts.
+func (n *Network) Hosts() int { return len(n.hosts) }
+
+func hostKey(h string) string {
+	return urlkit.RegistrableDomain(h)
+}
+
+// Env returns a browser.Env view of the network. All pages on one network
+// share the scheduler (single logical thread), matching a single-browser
+// crawl process.
+func (n *Network) Env() *Env { return &Env{net: n} }
+
+// Env adapts Network to the browser.Env interface.
+type Env struct {
+	net *Network
+}
+
+// Now returns the virtual time.
+func (e *Env) Now() time.Time { return e.net.Sched.Now() }
+
+// After schedules fn after d of virtual time.
+func (e *Env) After(d time.Duration, fn func()) { e.net.Sched.After(d, fn) }
+
+// Post schedules fn as soon as possible.
+func (e *Env) Post(fn func()) { e.net.Sched.Post(fn) }
+
+// Fetch resolves the request's host, applies faults, runs the handler at
+// the server after half an RTT, and delivers the response after service
+// time plus the other half RTT. Unknown hosts fail like dead DNS.
+func (e *Env) Fetch(req *webreq.Request, cb func(*webreq.Response)) {
+	n := e.net
+	n.Requests++
+	host := urlkit.Host(req.URL)
+	key := urlkit.RegistrableDomain(host)
+	handler, ok := n.hosts[key]
+
+	rtt := n.baseRTT
+	if n.jitter > 0 {
+		rtt += time.Duration(n.rng.Float64() * float64(n.jitter))
+	}
+
+	fault, hasFault := n.faults[key]
+	if hasFault {
+		rtt += fault.ExtraLatency
+	}
+
+	if !ok {
+		// Unresolvable host: error after a DNS-ish delay.
+		n.Sched.After(rtt, func() {
+			cb(&webreq.Response{RequestID: req.ID, Err: fmt.Sprintf("no such host %q", host)})
+		})
+		return
+	}
+	if hasFault && n.rng.Bool(fault.FailProb) {
+		errStr := fault.Err
+		if errStr == "" {
+			errStr = "connection reset"
+		}
+		n.Sched.After(rtt, func() {
+			cb(&webreq.Response{RequestID: req.ID, Err: errStr})
+		})
+		return
+	}
+
+	// Request reaches the server after rtt/2; handler computes the
+	// response and its service time; delivery lands rtt/2 after that.
+	n.Sched.After(rtt/2, func() {
+		status, body, service := handler(req)
+		if service < 0 {
+			service = 0
+		}
+		n.Sched.After(service+rtt/2, func() {
+			cb(&webreq.Response{RequestID: req.ID, Status: status, Body: body})
+		})
+	})
+}

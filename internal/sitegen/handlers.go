@@ -1,0 +1,582 @@
+package sitegen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"headerbid/internal/adserver"
+	"headerbid/internal/hb"
+	"headerbid/internal/partners"
+	"headerbid/internal/rng"
+	"headerbid/internal/rtb"
+	"headerbid/internal/simnet"
+	"headerbid/internal/urlkit"
+	"headerbid/internal/webreq"
+)
+
+// CreativeHost serves ad markup; its URLs carry the hb_* parameters the
+// detector mines on server-side responses.
+const CreativeHost = "creatives.example"
+
+// serverSeat is one partner connected to a hosted (server-side) auction.
+// Weights reproduce the per-facet winner mix of Figure 11, where Rubicon
+// and AppNexus lead every facet.
+type serverSeat struct {
+	Slug   string
+	Weight float64
+}
+
+// partnerCurrency maps partners that quote in their home currency; the
+// wrapper normalizes to USD (the paper reports all prices in USD CPM).
+var partnerCurrency = map[string]hb.Currency{
+	"adocean":         hb.EUR, // .pl
+	"aduptech":        hb.EUR, // .de
+	"yieldlab":        hb.EUR,
+	"smartadserver":   hb.EUR,
+	"widespace":       hb.EUR,
+	"eplanning":       hb.EUR,
+	"smilewanted":     hb.EUR,
+	"adhese":          hb.EUR,
+	"orbidder":        hb.EUR,
+	"adform":          hb.EUR,
+	"teads":           hb.EUR,
+	"clickonometrics": hb.EUR,
+	"yieldone":        hb.JPY, // platform-one.co.jp
+	"adgeneration":    hb.JPY, // socdm.com
+}
+
+// currencyFor returns the quoting currency of a partner (USD default) and
+// the divisor converting a USD amount into it.
+func currencyFor(slug string) (hb.Currency, float64) {
+	cur, ok := partnerCurrency[slug]
+	if !ok {
+		return hb.USD, 1
+	}
+	// ToUSD(1, cur) gives the USD value of one unit; dividing a USD
+	// amount by it re-quotes the price in the partner's currency.
+	rate, _ := hb.ToUSD(1, cur)
+	return cur, rate
+}
+
+// cleanStateBidFactor scales every partner's bid propensity for the
+// crawler's clean-state (no cookies, no profile) visits: the paper's
+// Table 1 shows ~0.3 bids per auction precisely because "bidders may avoid
+// bidding when they know nothing about the user" (§3.2).
+const cleanStateBidFactor = 0.40
+
+// hostedSeatFactor similarly depresses participation in hosted (s2s)
+// auctions for unknown users.
+const hostedSeatFactor = 0.30
+
+var serverSeatPool = []serverSeat{
+	{"rubicon", 30}, {"appnexus", 28}, {"ix", 14}, {"openx", 10},
+	{"pubmatic", 8}, {"districtm", 6}, {"criteo", 6}, {"amazon", 5},
+	{"oftmedia", 5}, {"brealtime", 4}, {"emx_digital", 4},
+	{"smartadserver", 3}, {"aduptech", 3}, {"sovrn", 3}, {"livewrapped", 2},
+}
+
+// Ecosystem is the server side of the generated world: pure handler logic
+// shared by the simulated network and the live HTTP network. All methods
+// return (status, body, serviceTime); transports add their own latency
+// around the service time.
+//
+// Ecosystem is safe for concurrent use (livenet serves from multiple
+// goroutines); the simulated network is single-threaded anyway.
+type Ecosystem struct {
+	World *World
+	seed  int64
+
+	mu        sync.Mutex
+	adServers map[string]*adserver.Server // per site domain
+	exchanges map[string]*rtb.Exchange    // per partner slug
+	streams   map[string]*rng.Stream      // per purpose
+}
+
+// NewEcosystem builds the handler state for a world, seeded by the world
+// seed (a long-lived server like livenet keeps advancing these streams
+// across every request it serves).
+func NewEcosystem(w *World) *Ecosystem {
+	return NewEcosystemSeed(w, w.Cfg.Seed)
+}
+
+// NewEcosystemSeed builds handler state with an explicit seed. Per-visit
+// ecosystems (the crawler creates one per clean-slate visit) MUST pass a
+// per-visit seed: otherwise every visit's partner streams restart at the
+// same state, every site sees the identical "first draw" from each
+// partner, and cross-site variance collapses.
+func NewEcosystemSeed(w *World, seed int64) *Ecosystem {
+	return &Ecosystem{
+		World:     w,
+		seed:      seed,
+		adServers: make(map[string]*adserver.Server),
+		exchanges: make(map[string]*rtb.Exchange),
+		streams:   make(map[string]*rng.Stream),
+	}
+}
+
+// stream returns the named deterministic stream, creating it on first use.
+func (e *Ecosystem) stream(name string) *rng.Stream {
+	s, ok := e.streams[name]
+	if !ok {
+		s = rng.SplitStable(e.seed, "eco/"+name)
+		e.streams[name] = s
+	}
+	return s
+}
+
+// adServerFor returns the lazily created ad server of a site.
+func (e *Ecosystem) adServerFor(domain string) *adserver.Server {
+	srv, ok := e.adServers[domain]
+	if !ok {
+		seed := rng.SplitStable(e.World.Cfg.Seed, "adsrv/"+domain).Int63()
+		srv = adserver.New(adserver.DefaultConfig(seed))
+		e.adServers[domain] = srv
+	}
+	return srv
+}
+
+// exchangeFor returns a partner's internal RTB exchange.
+func (e *Ecosystem) exchangeFor(p *partners.Profile) *rtb.Exchange {
+	ex, ok := e.exchanges[p.Slug]
+	if !ok {
+		ex = rtb.NewExchange(p.Slug, p.DSPCount, p.PriceMedianUSD, p.PriceSigma, e.World.Cfg.Seed)
+		e.exchanges[p.Slug] = ex
+	}
+	return ex
+}
+
+// ---------------------------------------------------------------------------
+// Partner endpoints
+// ---------------------------------------------------------------------------
+
+// HandlePartner services any request landing on a partner's domain:
+// client-side bid requests, hosted auctions, win beacons and sync pixels.
+func (e *Ecosystem) HandlePartner(p *partners.Profile, req *webreq.Request) (int, string, time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	u := req.URL
+	switch {
+	case strings.Contains(u, "/hb/v1/bid"):
+		return e.handleBid(p, req)
+	case strings.Contains(u, "/ssp/auction"):
+		return e.handleHosted(p, req)
+	case strings.Contains(u, "/gampad/ads"):
+		return e.handleGampad(p, req)
+	case strings.Contains(u, "/win"), strings.Contains(u, "/pixel"):
+		return 204, "", 2 * time.Millisecond
+	default:
+		return 200, "ok", 5 * time.Millisecond
+	}
+}
+
+// handleBid answers a prebid client-side bid request (one bidder, all ad
+// units). Lateness is decided here: a partner that will miss the caller's
+// TMax responds after the deadline, exactly how the browser experiences
+// late bids.
+func (e *Ecosystem) handleBid(p *partners.Profile, req *webreq.Request) (int, string, time.Duration) {
+	r := e.stream("bid/" + p.Slug)
+
+	var breq rtb.BidRequest
+	if err := json.Unmarshal([]byte(req.Body), &breq); err != nil {
+		return 400, `{"nbr":2}`, 10 * time.Millisecond
+	}
+
+	// Facet-dependent pricing: the handler looks the publisher up the way
+	// a real partner recognizes inventory by domain.
+	facet := hb.FacetClient
+	if site, ok := e.World.SiteByDomain(breq.Site.Domain); ok {
+		facet = site.Facet
+	}
+
+	// Service time: the partner's own latency plus internal auction work.
+	service := p.SampleLatency(r)
+	if r.Bool(p.LateProb) && breq.TMax > 0 {
+		// This response will miss the wrapper deadline.
+		over := time.Duration(100+r.Intn(2400)) * time.Millisecond
+		service = time.Duration(breq.TMax)*time.Millisecond + over
+	}
+
+	ex := e.exchangeFor(p)
+	results := ex.Run(&breq, r)
+	var extra time.Duration
+	for _, res := range results {
+		extra += res.Elapsed
+	}
+	service += extra
+
+	cur, usdRate := currencyFor(p.Slug)
+	resp := rtb.BidResponse{ID: breq.ID, Currency: string(cur)}
+	seat := rtb.SeatBid{Seat: p.Slug}
+	for i, imp := range breq.Imp {
+		if !r.Bool(p.BidProb * cleanStateBidFactor) {
+			continue
+		}
+		size := hb.SizeMediumRectangle
+		if len(imp.Banner.Format) > 0 {
+			size = hb.Size{W: imp.Banner.Format[0].W, H: imp.Banner.Format[0].H}
+		}
+		cpm := p.SampleCPM(r) * SizePriceFactor(size) * FacetPriceFactor(facet)
+		if res := results[i]; res.Winner != "" && res.ClearingCPM > 0 {
+			// Internal auction informed the partner's bid: blend toward
+			// the clearing price so internal demand matters.
+			cpm = 0.5*cpm + 0.5*res.ClearingCPM*SizePriceFactor(size)
+		}
+		if cpm < imp.FloorCPM {
+			continue
+		}
+		seat.Bid = append(seat.Bid, rtb.SeatOne{
+			ImpID: imp.ID,
+			Price: round4(cpm / usdRate), // quoted in the partner's currency
+			W:     size.W,
+			H:     size.H,
+			CrID:  fmt.Sprintf("%s-cr-%d", p.Slug, r.Intn(1_000_000)),
+		})
+	}
+	if len(seat.Bid) > 0 {
+		resp.SeatBid = []rtb.SeatBid{seat}
+	} else {
+		resp.NBR = 8 // no-bid: unknown user
+	}
+	blob, _ := json.Marshal(resp)
+	return 200, string(blob), service
+}
+
+// handleHosted answers a hosted (Server-Side HB) auction: the provider
+// runs the whole auction among its connected seats and returns only the
+// winning impressions, whose creative URLs expose hb_* parameters.
+func (e *Ecosystem) handleHosted(p *partners.Profile, req *webreq.Request) (int, string, time.Duration) {
+	r := e.stream("hosted/" + p.Slug)
+	params := urlkit.QueryParams(req.URL)
+	siteDomain := params["site"]
+	site, _ := e.World.SiteByDomain(siteDomain)
+
+	service := p.SampleLatency(r)
+	var lines []string
+	for _, spec := range strings.Split(params["slots"], ",") {
+		parts := strings.Split(spec, "|")
+		if len(parts) != 2 {
+			continue
+		}
+		code := parts[0]
+		size, err := hb.ParseSize(parts[1])
+		if err != nil {
+			continue
+		}
+		// Each hosted slot triggers its own seat auction at the provider
+		// (Fig 20: more auctioned slots, higher latency).
+		service += time.Duration(18+r.Intn(30)) * time.Millisecond
+
+		winner, cpm := e.seatAuction(r, size, hb.FacetServer)
+		floor := 0.005
+		renderFail := 0.02
+		if site != nil {
+			floor = site.FloorCPM
+			renderFail = site.RenderFailProb
+		}
+		var line string
+		if winner != "" && cpm >= floor {
+			curl := creativeURL(map[string]string{
+				"slot": code, "size": size.String(), "channel": "hb",
+				hb.KeyBidder: winner, hb.KeyPriceBuck: hb.PriceBucket(cpm),
+				hb.KeySize: size.String(), hb.KeySource: "s2s",
+				hb.KeyPrice: fmt.Sprintf("%.4f", cpm),
+			})
+			line = code + "|hb|" + curl
+		} else {
+			curl := creativeURL(map[string]string{
+				"slot": code, "size": size.String(), "channel": "house",
+			})
+			line = code + "|house|" + curl
+		}
+		if r.Bool(renderFail) {
+			line += "|fail"
+		}
+		lines = append(lines, line)
+	}
+	return 200, strings.Join(lines, "\n"), service
+}
+
+// seatAuction resolves one hosted-auction slot among the connected seats:
+// first- and second-price among sampled seat bids.
+func (e *Ecosystem) seatAuction(r *rng.Stream, size hb.Size, facet hb.Facet) (winner string, cpm float64) {
+	var top, second float64
+	for _, seat := range serverSeatPool {
+		p, ok := e.World.Registry.BySlug(seat.Slug)
+		if !ok {
+			continue
+		}
+		// Seat participation scales with its pool weight, depressed for
+		// clean-state users.
+		participate := seat.Weight / 40
+		if participate > 0.95 {
+			participate = 0.95
+		}
+		if !r.Bool(participate * p.BidProb * 3 * hostedSeatFactor) {
+			continue
+		}
+		price := p.SampleCPM(r) * SizePriceFactor(size) * FacetPriceFactor(facet)
+		switch {
+		case price > top:
+			second = top
+			top = price
+			winner = seat.Slug
+		case price > second:
+			second = price
+		}
+	}
+	if winner == "" {
+		return "", 0
+	}
+	if second <= 0 {
+		second = top * 0.8
+	}
+	return winner, round4(second + 0.0001)
+}
+
+// handleGampad is the DFP-style ad server used by Hybrid HB sites: it
+// takes the wrapper's hb_* targeting, adds its own server-side demand,
+// consults direct line items, and returns per-slot creative lines.
+func (e *Ecosystem) handleGampad(p *partners.Profile, req *webreq.Request) (int, string, time.Duration) {
+	r := e.stream("gampad")
+	params := urlkit.QueryParams(req.URL)
+	siteDomain := params["site"]
+	site, _ := e.World.SiteByDomain(siteDomain)
+	floor := 0.005
+	renderFail := 0.02
+	infra := 1.0
+	if site != nil {
+		floor = site.FloorCPM
+		renderFail = site.RenderFailProb
+		infra = site.InfraQuality
+	}
+
+	// DFP decisioning: base cost plus per-slot work, better for top sites.
+	service := time.Duration(float64(120+r.Intn(120)) / infra * float64(time.Millisecond))
+
+	srv := e.adServerFor("dfp/" + siteDomain)
+	var lines []string
+	for _, spec := range strings.Split(params["slots"], ",") {
+		parts := strings.Split(spec, "|")
+		if len(parts) != 2 {
+			continue
+		}
+		code := parts[0]
+		size, err := hb.ParseSize(parts[1])
+		if err != nil {
+			continue
+		}
+		service += time.Duration(float64(20+r.Intn(35))/infra) * time.Millisecond
+
+		// Client-side HB candidate from per-slot targeting.
+		clientBidder := params[hb.KeyBidder+"."+code]
+		clientCPM := 0.0
+		if pb := params[hb.KeyPriceBuck+"."+code]; pb != "" {
+			fmt.Sscanf(pb, "%f", &clientCPM)
+		}
+
+		// Server-side candidate from DFP's exchange.
+		ssBidder, ssCPM := e.seatAuction(r, size, hb.FacetHybrid)
+
+		// Direct / house fallback via the line-item book.
+		dec := srv.Decide(adserver.Request{
+			Site: siteDomain, AdUnit: code, Size: size,
+			Targeting: hb.Targeting{},
+		})
+
+		var line string
+		switch {
+		case clientCPM >= floor && clientCPM >= ssCPM && clientBidder != "":
+			curl := creativeURL(map[string]string{
+				"slot": code, "size": size.String(), "channel": "hb",
+				hb.KeyBidder: clientBidder, hb.KeyPriceBuck: hb.PriceBucket(clientCPM),
+				hb.KeySize: size.String(), hb.KeySource: "client",
+			})
+			line = code + "|hb|" + curl
+		case ssCPM >= floor && ssBidder != "":
+			curl := creativeURL(map[string]string{
+				"slot": code, "size": size.String(), "channel": "hb",
+				hb.KeyBidder: ssBidder, hb.KeyPriceBuck: hb.PriceBucket(ssCPM),
+				hb.KeySize: size.String(), hb.KeySource: "s2s",
+				hb.KeyPrice: fmt.Sprintf("%.4f", ssCPM),
+			})
+			line = code + "|hb|" + curl
+		case dec.Channel == "direct":
+			curl := creativeURL(map[string]string{
+				"slot": code, "size": size.String(), "channel": "direct",
+				"li": dec.LineItem,
+			})
+			line = code + "|direct|" + curl
+		default:
+			curl := creativeURL(map[string]string{
+				"slot": code, "size": size.String(), "channel": "house",
+			})
+			line = code + "|house|" + curl
+		}
+		if r.Bool(renderFail) {
+			line += "|fail"
+		}
+		lines = append(lines, line)
+	}
+	_ = p
+	return 200, strings.Join(lines, "\n"), service
+}
+
+// ---------------------------------------------------------------------------
+// Publisher endpoints
+// ---------------------------------------------------------------------------
+
+// HandleSite services a publisher domain: the document on www.<domain>
+// and the client-facet ad server on adserver.<domain>.
+func (e *Ecosystem) HandleSite(s *Site, req *webreq.Request) (int, string, time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	host := urlkit.Host(req.URL)
+	switch {
+	case strings.HasPrefix(host, "adserver."):
+		return e.handleClientAdServer(s, req)
+	default:
+		r := e.stream("doc/" + s.Domain)
+		ms := r.LogNormal(math.Log(90/s.InfraQuality), 0.5)
+		return 200, e.World.PageHTML(s), time.Duration(ms * float64(time.Millisecond))
+	}
+}
+
+// handleClientAdServer is the publisher's own ad server (Client-Side HB):
+// it trusts the wrapper's targeting, applies the floor and the line-item
+// book, and returns per-slot creative lines.
+func (e *Ecosystem) handleClientAdServer(s *Site, req *webreq.Request) (int, string, time.Duration) {
+	r := e.stream("pubsrv/" + s.Domain)
+	params := urlkit.QueryParams(req.URL)
+	srv := e.adServerFor(s.Domain)
+
+	service := time.Duration(float64(25+r.Intn(35))/s.InfraQuality) * time.Millisecond
+	var lines []string
+	for _, spec := range strings.Split(params["slots"], ",") {
+		parts := strings.Split(spec, "|")
+		if len(parts) != 2 {
+			continue
+		}
+		code := parts[0]
+		size, err := hb.ParseSize(parts[1])
+		if err != nil {
+			continue
+		}
+		service += time.Duration(float64(12+r.Intn(20))/s.InfraQuality) * time.Millisecond
+
+		t := hb.Targeting{}
+		for k, v := range params {
+			kl := strings.ToLower(k)
+			if strings.HasSuffix(kl, "."+code) && hb.IsTargetingKey(strings.TrimSuffix(kl, "."+code)) {
+				t[strings.TrimSuffix(kl, "."+code)] = v
+			}
+		}
+		dec := srv.Decide(adserver.Request{
+			Site: s.Domain, AdUnit: code, Size: size, Targeting: t,
+		})
+
+		var curl string
+		switch dec.Channel {
+		case "hb":
+			curl = creativeURL(map[string]string{
+				"slot": code, "size": size.String(), "channel": "hb",
+				hb.KeyBidder: dec.Bidder, hb.KeyPriceBuck: hb.PriceBucket(dec.CPM),
+				hb.KeySize: size.String(), hb.KeySource: "client",
+			})
+		case "unfilled":
+			lines = append(lines, code+"|unfilled|")
+			continue
+		default:
+			curl = creativeURL(map[string]string{
+				"slot": code, "size": size.String(), "channel": dec.Channel,
+				"li": dec.LineItem,
+			})
+		}
+		line := code + "|" + dec.Channel + "|" + curl
+		if r.Bool(s.RenderFailProb) {
+			line += "|fail"
+		}
+		lines = append(lines, line)
+	}
+	return 200, strings.Join(lines, "\n"), service
+}
+
+// HandleCreative serves ad markup.
+func (e *Ecosystem) HandleCreative(req *webreq.Request) (int, string, time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r := e.stream("creative")
+	service := time.Duration(5+r.Intn(20)) * time.Millisecond
+	return 200, `<div class="creative">ad</div>`, service
+}
+
+// HandleCDN serves static JS libraries.
+func (e *Ecosystem) HandleCDN(req *webreq.Request) (int, string, time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r := e.stream("cdn")
+	service := time.Duration(8+r.Intn(30)) * time.Millisecond
+	return 200, "/* js library stub */", service
+}
+
+// creativeURL builds a creative fetch URL on the creative host.
+func creativeURL(params map[string]string) string {
+	return urlkit.WithParams("https://"+CreativeHost+"/render", params)
+}
+
+func round4(x float64) float64 { return math.Round(x*10000) / 10000 }
+
+// ---------------------------------------------------------------------------
+// Simulated-network installation
+// ---------------------------------------------------------------------------
+
+// InstallSimnet registers every host of the world on a simulated network:
+// all partner domains, all publisher domains, the creative host, and the
+// static CDNs. It returns the ecosystem for further (fault-injection)
+// control.
+func (w *World) InstallSimnet(n *simnet.Network) *Ecosystem {
+	eco := NewEcosystemSeed(w, w.Cfg.Seed^n.Seed())
+	w.installShared(n, eco)
+	for _, s := range w.Sites {
+		w.installSite(n, eco, s)
+	}
+	return eco
+}
+
+// InstallSimnetFor registers only the hosts one visit can reach: the
+// visited site, every partner, and the shared creative/CDN hosts. The
+// crawler uses it so per-visit network setup is O(partners), not
+// O(world) — the difference between a minutes-long and an hours-long
+// 35k crawl.
+func (w *World) InstallSimnetFor(n *simnet.Network, s *Site) *Ecosystem {
+	eco := NewEcosystemSeed(w, w.Cfg.Seed^n.Seed())
+	w.installShared(n, eco)
+	w.installSite(n, eco, s)
+	return eco
+}
+
+func (w *World) installShared(n *simnet.Network, eco *Ecosystem) {
+	for _, p := range w.Registry.All() {
+		p := p
+		n.Handle(p.Host, func(req *webreq.Request) (int, string, time.Duration) {
+			return eco.HandlePartner(p, req)
+		})
+	}
+	n.Handle(CreativeHost, eco.HandleCreative)
+	for _, cdn := range []string{
+		urlkit.Host(PrebidCDN), urlkit.Host(GPTCDN), urlkit.Host(PubfoodCDN),
+		urlkit.Host(JQueryCDN), "analytics.static.example",
+	} {
+		n.Handle(cdn, eco.HandleCDN)
+	}
+}
+
+func (w *World) installSite(n *simnet.Network, eco *Ecosystem, s *Site) {
+	s2 := s
+	n.Handle(s.Domain, func(req *webreq.Request) (int, string, time.Duration) {
+		return eco.HandleSite(s2, req)
+	})
+}

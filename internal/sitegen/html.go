@@ -1,0 +1,96 @@
+package sitegen
+
+import (
+	"fmt"
+	"strings"
+
+	"headerbid/internal/hb"
+	"headerbid/internal/pagert"
+	"headerbid/internal/prebid"
+	"headerbid/internal/rng"
+)
+
+// Library CDN URLs embedded by generated pages. The detector and the
+// static analyzer both key on these.
+const (
+	PrebidCDN  = "https://cdn.prebid.example/prebid.js"
+	GPTCDN     = "https://www.googletagservices.com/tag/js/gpt.js"
+	PubfoodCDN = "https://cdn.pubfood.example/pubfood.js"
+	JQueryCDN  = "https://cdn.static.example/jquery.min.js"
+)
+
+// PageHTML renders a site's homepage: head scripts (analytics noise, HB
+// library includes, inline wrapper config) plus body slot divs. Non-HB
+// pages get ordinary scripts only; a small fraction get "trap" markup that
+// names an HB library without executing one — the static-analysis false
+// positives the paper warns about (§3.1).
+func (w *World) PageHTML(s *Site) string {
+	r := rng.SplitStable(w.Cfg.Seed, "html/"+s.Domain)
+	var head strings.Builder
+	head.WriteString("<title>" + s.Domain + "</title>\n")
+	head.WriteString(`<script src="` + JQueryCDN + `"></script>` + "\n")
+	head.WriteString(`<script src="https://analytics.static.example/ga.js" async></script>` + "\n")
+
+	if s.HB {
+		cfg := w.pageConfig(s)
+		inline, err := cfg.InlineScript()
+		if err != nil {
+			inline = "/* config error: " + err.Error() + " */"
+		}
+		switch s.Facet {
+		case hb.FacetClient:
+			if s.Library == "pubfood" {
+				head.WriteString(`<script src="` + PubfoodCDN + `" async></script>` + "\n")
+			} else {
+				head.WriteString(`<script src="` + PrebidCDN + `" async></script>` + "\n")
+			}
+		case hb.FacetHybrid:
+			head.WriteString(`<script src="` + PrebidCDN + `" async></script>` + "\n")
+			head.WriteString(`<script src="` + GPTCDN + `" async></script>` + "\n")
+		case hb.FacetServer:
+			head.WriteString(`<script src="` + GPTCDN + `" async></script>` + "\n")
+		}
+		head.WriteString("<script>" + inline + "</script>\n")
+	} else if r.Bool(0.015) {
+		// Static-analysis trap: a dead script tag naming prebid (inside a
+		// commented-out block a naive regex still matches), never executed.
+		head.WriteString("<!-- legacy, disabled:\n<script src=\"" + PrebidCDN + "\"></script>\n-->\n")
+	}
+
+	var body strings.Builder
+	body.WriteString("<h1>" + s.Domain + "</h1>\n")
+	if s.HB {
+		for _, u := range s.AdUnits {
+			body.WriteString(fmt.Sprintf("<div id=%q class=\"ad\" data-size=%q></div>\n",
+				u.Code, u.PrimarySize().String()))
+		}
+	}
+	body.WriteString("<p>Lorem ipsum editorial content.</p>\n")
+
+	return "<!DOCTYPE html>\n<html>\n<head>\n" + head.String() +
+		"</head>\n<body>\n" + body.String() + "</body>\n</html>\n"
+}
+
+// pageConfig builds the inline wrapper configuration for an HB site.
+func (w *World) pageConfig(s *Site) *pagert.PageConfig {
+	units := make([]prebid.AdUnit, len(s.AdUnits))
+	copy(units, s.AdUnits)
+	for i := range units {
+		units[i].SizeStr = nil
+		for _, sz := range units[i].Sizes {
+			units[i].SizeStr = append(units[i].SizeStr, sz.String())
+		}
+	}
+	return &pagert.PageConfig{
+		Site:          s.Domain,
+		Facet:         s.Facet.Short(),
+		Library:       s.Library,
+		TimeoutMS:     s.TimeoutMS,
+		BadWrapper:    s.BadWrapper,
+		SendAllBids:   s.SendAllBids,
+		AdServerURL:   s.AdServerURL(),
+		ServerPartner: s.ServerPartner,
+		FloorCPM:      s.FloorCPM,
+		AdUnits:       units,
+	}
+}

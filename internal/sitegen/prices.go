@@ -1,0 +1,132 @@
+package sitegen
+
+import (
+	"headerbid/internal/hb"
+	"headerbid/internal/rng"
+)
+
+// sizeCatalog lists the ad-slot dimensions observed per facet with their
+// selection weights, matching the popularity ordering in Figure 21: the
+// 300x250 medium rectangle dominates everywhere, the 728x90 leaderboard
+// and 300x600 half page follow, with facet-specific tails.
+var sizeCatalog = map[hb.Facet][]struct {
+	Size   hb.Size
+	Weight float64
+}{
+	hb.FacetServer: {
+		{hb.SizeMediumRectangle, 44},
+		{hb.SizeLeaderboard, 17},
+		{hb.SizeHalfPage, 9},
+		{hb.SizeMobileBanner, 7},
+		{hb.SizeBillboard, 6},
+		{hb.SizeSkyscraper, 5},
+		{hb.SizeLargeRectangle, 4},
+		{hb.SizeSuperLeader, 3},
+		{hb.SizeLargeMobile, 3},
+		{hb.SizeFullBanner, 2},
+	},
+	hb.FacetClient: {
+		{hb.SizeMediumRectangle, 38},
+		{hb.SizeHalfPage, 16},
+		{hb.SizeLeaderboard, 14},
+		{hb.SizeBillboard, 8},
+		{hb.SizeMobileSquare, 6},
+		{hb.SizeMobileBanner, 5},
+		{hb.SizeSkyscraper, 4},
+		{hb.SizeSmallSquare, 3},
+		{hb.SizeWideSkyscraper, 3},
+		{hb.SizeLargeMobile, 3},
+	},
+	hb.FacetHybrid: {
+		{hb.SizeMediumRectangle, 42},
+		{hb.SizeLeaderboard, 16},
+		{hb.SizeHalfPage, 10},
+		{hb.SizeMobileBanner, 8},
+		{hb.SizeBillboard, 6},
+		{hb.SizeSkyscraper, 5},
+		{hb.SizeLargeMobile, 4},
+		{hb.SizeLargeRectangle, 3},
+		{hb.SizeMobileSlim, 3},
+		{hb.SizeWideSkyscraper, 3},
+	},
+}
+
+// sampleSlotSize draws a slot dimension for a facet.
+func sampleSlotSize(r *rng.Stream, facet hb.Facet) hb.Size {
+	catalog, ok := sizeCatalog[facet]
+	if !ok {
+		return hb.SizeMediumRectangle
+	}
+	weights := make([]float64, len(catalog))
+	for i, c := range catalog {
+		weights[i] = c.Weight
+	}
+	return catalog[r.Categorical(weights)].Size
+}
+
+// SizePriceFactor scales a partner's baseline CPM by slot dimension,
+// calibrated to the relative median prices of Figure 23: the 120x600 wide
+// skyscraper is the most expensive slot, the tiny 300x50 mobile slim the
+// cheapest by two orders of magnitude, and the workhorse 300x250 sits in
+// the middle.
+func SizePriceFactor(s hb.Size) float64 {
+	switch s {
+	case hb.SizeWideSkyscraper: // 120x600, median 0.096 CPM in the paper
+		return 3.1
+	case hb.SizeBillboard: // 970x250
+		return 2.3
+	case hb.SizeHalfPage: // 300x600
+		return 1.9
+	case hb.SizeSkyscraper: // 160x600
+		return 1.5
+	case hb.SizeLargeRectangle: // 336x280
+		return 1.25
+	case hb.SizeSuperLeader: // 970x90
+		return 1.1
+	case hb.SizeMediumRectangle: // 300x250, median 0.031 CPM in the paper
+		return 1.0
+	case hb.SizeLeaderboard: // 728x90
+		return 0.7
+	case hb.SizeMobileSquare: // 320x320
+		return 0.6
+	case hb.SizeSmallSquare: // 100x200
+		return 0.4
+	case hb.SizeSmallRect: // 300x100
+		return 0.30
+	case hb.SizeFullBanner: // 468x60
+		return 0.25
+	case hb.SizeLargeMobile: // 320x100
+		return 0.18
+	case hb.SizeMobileBanner: // 320x50
+		return 0.10
+	case hb.SizeMobileSlim: // 300x50, median 0.00084 CPM in the paper
+		return 0.027
+	default:
+		// Unknown sizes scale by area relative to the medium rectangle.
+		ref := float64(hb.SizeMediumRectangle.Area())
+		f := float64(s.Area()) / ref
+		if f < 0.02 {
+			f = 0.02
+		}
+		if f > 3.5 {
+			f = 3.5
+		}
+		return f
+	}
+}
+
+// FacetPriceFactor captures Figure 22's finding that client-side HB draws
+// the highest baseline bids, with hybrid close behind and hosted
+// server-side auctions clearing lowest.
+func FacetPriceFactor(f hb.Facet) float64 {
+	switch f {
+	case hb.FacetClient:
+		return 1.35
+	case hb.FacetHybrid:
+		return 1.05
+	case hb.FacetServer:
+		return 0.72
+	default:
+		return 1.0
+	}
+}

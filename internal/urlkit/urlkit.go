@@ -1,0 +1,142 @@
+// Package urlkit provides URL helpers used by the request inspector:
+// query-parameter scanning for HB-specific keys, registrable-domain
+// extraction (a simplified public-suffix view, sufficient for matching
+// demand-partner endpoints), and host normalization.
+package urlkit
+
+import (
+	"net/url"
+	"strings"
+)
+
+// multiLabelSuffixes lists the multi-label public suffixes that actually
+// occur among ad-tech endpoints; anything else is treated as a one-label
+// TLD. A full public-suffix list is unnecessary for the closed world of
+// demand-partner hosts this library matches against.
+var multiLabelSuffixes = map[string]bool{
+	"co.uk": true, "org.uk": true, "ac.uk": true, "gov.uk": true,
+	"com.au": true, "net.au": true, "org.au": true,
+	"co.jp": true, "ne.jp": true, "or.jp": true,
+	"com.br": true, "com.cn": true, "com.tr": true, "com.mx": true,
+	"co.in": true, "co.kr": true, "co.za": true, "com.sg": true,
+	"com.hk": true, "com.tw": true,
+}
+
+// Host returns the lower-cased host (without port) of a raw URL, or ""
+// when the URL cannot be parsed.
+func Host(raw string) string {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return ""
+	}
+	return strings.ToLower(u.Hostname())
+}
+
+// RegistrableDomain reduces a hostname to its registrable domain
+// (eTLD+1): "prebid.adnxs.com" -> "adnxs.com", "x.y.co.uk" -> "y.co.uk".
+// IP literals and single-label hosts are returned unchanged.
+func RegistrableDomain(host string) string {
+	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	if host == "" || strings.Contains(host, ":") {
+		return host
+	}
+	labels := strings.Split(host, ".")
+	if len(labels) <= 2 {
+		return host
+	}
+	// Numeric IPv4?
+	if isIPv4(labels) {
+		return host
+	}
+	tail2 := strings.Join(labels[len(labels)-2:], ".")
+	if multiLabelSuffixes[tail2] {
+		if len(labels) < 3 {
+			return host
+		}
+		return strings.Join(labels[len(labels)-3:], ".")
+	}
+	return tail2
+}
+
+func isIPv4(labels []string) bool {
+	if len(labels) != 4 {
+		return false
+	}
+	for _, l := range labels {
+		if l == "" || len(l) > 3 {
+			return false
+		}
+		for _, c := range l {
+			if c < '0' || c > '9' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SameRegistrableDomain reports whether two hosts share a registrable
+// domain, the matching rule used when attributing a web request to a
+// demand partner.
+func SameRegistrableDomain(a, b string) bool {
+	return RegistrableDomain(a) == RegistrableDomain(b) && RegistrableDomain(a) != ""
+}
+
+// QueryParams parses the query component of a raw URL into a flat
+// key->first-value map. Parsing is tolerant: a malformed query yields the
+// parameters that could be recovered.
+func QueryParams(raw string) map[string]string {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return nil
+	}
+	vals, err := url.ParseQuery(u.RawQuery)
+	if err != nil && len(vals) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(vals))
+	for k, v := range vals {
+		if len(v) > 0 {
+			out[k] = v[0]
+		} else {
+			out[k] = ""
+		}
+	}
+	return out
+}
+
+// HasAnyParam reports whether the raw URL's query contains any of the
+// given keys. Keys are matched case-insensitively, as HB wrappers are
+// inconsistent about casing.
+func HasAnyParam(raw string, keys []string) bool {
+	params := QueryParams(raw)
+	if len(params) == 0 {
+		return false
+	}
+	lower := make(map[string]string, len(params))
+	for k, v := range params {
+		lower[strings.ToLower(k)] = v
+	}
+	for _, k := range keys {
+		if _, ok := lower[strings.ToLower(k)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// WithParams returns base with the given query parameters appended,
+// preserving any existing query. Parameters are encoded deterministically
+// (sorted by key) so generated URLs are stable across runs.
+func WithParams(base string, params map[string]string) string {
+	u, err := url.Parse(base)
+	if err != nil {
+		return base
+	}
+	q := u.Query()
+	for k, v := range params {
+		q.Set(k, v)
+	}
+	u.RawQuery = q.Encode() // Encode sorts keys.
+	return u.String()
+}

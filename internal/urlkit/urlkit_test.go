@@ -1,0 +1,127 @@
+package urlkit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHost(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"https://bid.adnxs.com/hb/v1/bid?x=1", "bid.adnxs.com"},
+		{"http://EXAMPLE.com/", "example.com"},
+		{"https://example.com:8443/p", "example.com"},
+		{"not a url at all ://", ""},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := Host(c.in); got != c.want {
+			t.Errorf("Host(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRegistrableDomain(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"prebid.adnxs.com", "adnxs.com"},
+		{"adnxs.com", "adnxs.com"},
+		{"a.b.c.doubleclick.net", "doubleclick.net"},
+		{"x.y.co.uk", "y.co.uk"},
+		{"deep.x.y.co.uk", "y.co.uk"},
+		{"localhost", "localhost"},
+		{"192.168.1.10", "192.168.1.10"},
+		{"Sub.Example.COM.", "example.com"},
+		{"", ""},
+		{"platform-one.co.jp", "platform-one.co.jp"},
+		{"bid.platform-one.co.jp", "platform-one.co.jp"},
+	}
+	for _, c := range cases {
+		if got := RegistrableDomain(c.in); got != c.want {
+			t.Errorf("RegistrableDomain(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSameRegistrableDomain(t *testing.T) {
+	if !SameRegistrableDomain("bid.adnxs.com", "sync.adnxs.com") {
+		t.Fatal("same eTLD+1 not matched")
+	}
+	if SameRegistrableDomain("adnxs.com", "rubiconproject.com") {
+		t.Fatal("different domains matched")
+	}
+	if SameRegistrableDomain("", "") {
+		t.Fatal("empty hosts must not match")
+	}
+}
+
+func TestQueryParams(t *testing.T) {
+	p := QueryParams("https://x.example/ads?hb_bidder=appnexus&hb_pb=0.50&empty")
+	if p["hb_bidder"] != "appnexus" || p["hb_pb"] != "0.50" {
+		t.Fatalf("params = %v", p)
+	}
+	if _, ok := p["empty"]; !ok {
+		t.Fatal("bare key missing")
+	}
+	if QueryParams("://bad") != nil {
+		t.Fatal("malformed URL should yield nil")
+	}
+}
+
+func TestHasAnyParamCaseInsensitive(t *testing.T) {
+	u := "https://x.example/r?HB_Bidder=a"
+	if !HasAnyParam(u, []string{"hb_bidder"}) {
+		t.Fatal("case-insensitive match failed")
+	}
+	if HasAnyParam(u, []string{"hb_pb"}) {
+		t.Fatal("false positive")
+	}
+	if HasAnyParam("https://x.example/", []string{"hb_pb"}) {
+		t.Fatal("no query should not match")
+	}
+}
+
+func TestWithParamsDeterministic(t *testing.T) {
+	base := "https://s.example/serve?keep=1"
+	got := WithParams(base, map[string]string{"b": "2", "a": "1"})
+	want := "https://s.example/serve?a=1&b=2&keep=1"
+	if got != want {
+		t.Fatalf("WithParams = %q, want %q", got, want)
+	}
+}
+
+// Property: params written by WithParams are recovered by QueryParams.
+func TestParamsRoundTripProperty(t *testing.T) {
+	f := func(keysRaw, valsRaw []string) bool {
+		params := map[string]string{}
+		for i := 0; i < len(keysRaw) && i < len(valsRaw) && i < 5; i++ {
+			k := sanitizeKey(keysRaw[i])
+			if k == "" {
+				continue
+			}
+			params[k] = valsRaw[i]
+		}
+		u := WithParams("https://host.example/p", params)
+		got := QueryParams(u)
+		for k, v := range params {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitizeKey(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') || r == '_' {
+			out = append(out, r)
+		}
+	}
+	if len(out) > 12 {
+		out = out[:12]
+	}
+	return string(out)
+}

@@ -1,0 +1,167 @@
+// Package waterfall implements the traditional ad-buying standard that
+// Header Bidding replaces: ad networks arranged in hierarchical priority
+// levels, tried one after another until a bid clears. Priorities are set
+// from the average price of past purchases, not in real time — exactly the
+// structural deficiency the paper's introduction describes (an ad network
+// lower in the chain never gets to outbid one higher up). The package
+// exists so the harness can regenerate the paper's headline comparison:
+// HB latency is up to 3x waterfall in the median case.
+package waterfall
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"headerbid/internal/hb"
+	"headerbid/internal/partners"
+	"headerbid/internal/rng"
+)
+
+// Tier is one level of the waterfall: an ad network (partner) with a
+// historically derived priority value.
+type Tier struct {
+	Partner *partners.Profile
+	// HistoricalECPM is the average price of past purchases used for
+	// ordering; it is NOT the live bid.
+	HistoricalECPM float64
+}
+
+// Chain is a publisher's configured waterfall, ordered by priority.
+type Chain struct {
+	Site  string
+	Tiers []Tier
+	// FloorCPM is the minimum acceptable clearing price per pass.
+	FloorCPM float64
+	// PassTimeout bounds each tier's response time; a slow network is
+	// skipped, not waited on indefinitely.
+	PassTimeout time.Duration
+	// PassLatencyScale discounts per-pass latency relative to the
+	// browser-observed partner latencies: waterfall passes run
+	// server-to-server from the publisher's ad server, skipping the
+	// browser RTT and the single-threaded JS queue that inflate HB's
+	// client-side measurements.
+	PassLatencyScale float64
+}
+
+// NewChain builds a waterfall over the given partners, ordered by
+// historical eCPM derived deterministically from the seed. In waterfall
+// the big established networks sit on top (the paper: partners "already
+// reputable in the waterfall standard").
+func NewChain(site string, ps []*partners.Profile, floor float64, seed int64) *Chain {
+	r := rng.SplitStable(seed, "waterfall/"+site)
+	tiers := make([]Tier, 0, len(ps))
+	for _, p := range ps {
+		// Historical eCPM correlates strongly with partner weight (market
+		// share) plus noise: the incumbents filled far more impressions in
+		// the past, so their average take per slot dwarfs a tail partner's
+		// occasional high bid — the self-reinforcing hierarchy HB
+		// challenges. The weight term dominates by design.
+		ecpm := p.PriceMedianUSD * (0.8 + 0.4*r.Float64()) * (1 + p.Weight/2)
+		tiers = append(tiers, Tier{Partner: p, HistoricalECPM: ecpm})
+	}
+	sort.SliceStable(tiers, func(i, j int) bool {
+		return tiers[i].HistoricalECPM > tiers[j].HistoricalECPM
+	})
+	return &Chain{
+		Site:             site,
+		Tiers:            tiers,
+		FloorCPM:         floor,
+		PassTimeout:      1 * time.Second,
+		PassLatencyScale: 0.55,
+	}
+}
+
+// PassResult is the outcome of one tier's attempt.
+type PassResult struct {
+	Partner  string
+	Bid      float64 // 0 when no bid
+	Latency  time.Duration
+	TimedOut bool
+}
+
+// Result is the outcome of running the waterfall for one ad slot.
+type Result struct {
+	Site     string
+	AdUnit   string
+	Size     hb.Size
+	Passes   []PassResult
+	Winner   string // partner slug, "" when the chain exhausted
+	CPM      float64
+	Fallback bool // filled by the backfill channel (e.g. AdSense-like)
+	// Latency is the total sequential time: the sum of every pass tried.
+	// This is the fundamental contrast with HB, whose latency is the max
+	// of parallel requests (plus coordination overhead).
+	Latency time.Duration
+}
+
+// Run executes the waterfall for one slot. Each tier runs its internal
+// RTB auction; if the resulting bid clears the floor the chain stops,
+// otherwise the next tier is tried (Section 1: "when there is no bid from
+// ad network #1, a new auction is triggered for ad network #2").
+func (c *Chain) Run(adUnit string, size hb.Size, r *rng.Stream) Result {
+	res := Result{Site: c.Site, AdUnit: adUnit, Size: size}
+	scale := c.PassLatencyScale
+	if scale <= 0 {
+		scale = 1
+	}
+	for _, tier := range c.Tiers {
+		p := tier.Partner
+		lat := time.Duration(float64(p.SampleLatency(r)) * scale)
+		pass := PassResult{Partner: p.Slug, Latency: lat}
+		if lat > c.PassTimeout {
+			pass.TimedOut = true
+			pass.Latency = c.PassTimeout
+			res.Latency += c.PassTimeout
+			res.Passes = append(res.Passes, pass)
+			continue
+		}
+		res.Latency += lat
+		if r.Bool(p.BidProb) {
+			bid := p.SampleCPM(r)
+			pass.Bid = bid
+			res.Passes = append(res.Passes, pass)
+			if bid >= c.FloorCPM {
+				res.Winner = p.Slug
+				res.CPM = bid
+				return res
+			}
+			continue
+		}
+		res.Passes = append(res.Passes, pass)
+	}
+	// Chain exhausted: remnant backfill fills at negligible price. The
+	// backfill call itself costs one more round trip.
+	backfill := time.Duration(40+r.Intn(120)) * time.Millisecond
+	res.Latency += backfill
+	res.Fallback = true
+	res.CPM = 0.001 + 0.01*r.Float64()
+	return res
+}
+
+// String summarizes a result for logs.
+func (r Result) String() string {
+	w := r.Winner
+	if w == "" {
+		w = "backfill"
+	}
+	return fmt.Sprintf("waterfall[%s/%s winner=%s cpm=%.4f passes=%d latency=%s]",
+		r.Site, r.AdUnit, w, r.CPM, len(r.Passes), r.Latency)
+}
+
+// RevenueLoss computes the paper's motivating inefficiency for a result:
+// the difference between the highest bid that existed anywhere in the
+// chain and the price actually obtained. In waterfall, a high bid at a
+// low-priority tier never gets the chance to compete.
+func (r Result) RevenueLoss() float64 {
+	var best float64
+	for _, p := range r.Passes {
+		if p.Bid > best {
+			best = p.Bid
+		}
+	}
+	if best > r.CPM {
+		return best - r.CPM
+	}
+	return 0
+}

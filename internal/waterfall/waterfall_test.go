@@ -1,0 +1,171 @@
+package waterfall
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"headerbid/internal/hb"
+	"headerbid/internal/partners"
+	"headerbid/internal/rng"
+)
+
+func topPartners(t *testing.T, n int) []*partners.Profile {
+	t.Helper()
+	all := partners.Default().All()
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+func TestChainOrderedByHistoricalECPM(t *testing.T) {
+	c := NewChain("pub.example", topPartners(t, 10), 0.01, 1)
+	for i := 1; i < len(c.Tiers); i++ {
+		if c.Tiers[i].HistoricalECPM > c.Tiers[i-1].HistoricalECPM {
+			t.Fatalf("tiers not descending at %d", i)
+		}
+	}
+}
+
+func TestChainDeterministic(t *testing.T) {
+	a := NewChain("pub.example", topPartners(t, 8), 0.01, 7)
+	b := NewChain("pub.example", topPartners(t, 8), 0.01, 7)
+	for i := range a.Tiers {
+		if a.Tiers[i].Partner.Slug != b.Tiers[i].Partner.Slug ||
+			a.Tiers[i].HistoricalECPM != b.Tiers[i].HistoricalECPM {
+			t.Fatalf("chain construction not deterministic at tier %d", i)
+		}
+	}
+	ra, rb := rng.New(3), rng.New(3)
+	resA := a.Run("s", hb.SizeMediumRectangle, ra)
+	resB := b.Run("s", hb.SizeMediumRectangle, rb)
+	if resA.Winner != resB.Winner || resA.Latency != resB.Latency || resA.CPM != resB.CPM {
+		t.Fatalf("runs diverged: %+v vs %+v", resA, resB)
+	}
+}
+
+func TestRunStopsAtFirstClearingBid(t *testing.T) {
+	c := NewChain("pub.example", topPartners(t, 10), 0.0001, 5)
+	r := rng.New(5)
+	for trial := 0; trial < 50; trial++ {
+		res := c.Run("s", hb.SizeMediumRectangle, r)
+		if res.Winner == "" {
+			continue
+		}
+		// The winning pass must be the last one, and its bid >= floor.
+		last := res.Passes[len(res.Passes)-1]
+		if last.Partner != res.Winner {
+			t.Fatalf("chain continued after a clearing bid: %+v", res)
+		}
+		if res.CPM < c.FloorCPM {
+			t.Fatalf("cleared below floor: %+v", res)
+		}
+	}
+}
+
+func TestRunExhaustedFallsBack(t *testing.T) {
+	c := NewChain("pub.example", topPartners(t, 5), 1000 /* impossible floor */, 9)
+	r := rng.New(9)
+	res := c.Run("s", hb.SizeMediumRectangle, r)
+	if !res.Fallback {
+		t.Fatalf("impossible floor should force backfill: %+v", res)
+	}
+	if res.Winner != "" {
+		t.Fatalf("fallback result has a winner: %+v", res)
+	}
+	if res.CPM <= 0 {
+		t.Fatalf("backfill pays nothing: %+v", res)
+	}
+	if len(res.Passes) != 5 {
+		t.Fatalf("not every tier was tried: %d", len(res.Passes))
+	}
+}
+
+// Property: sequential latency accounting — total latency is at least the
+// sum of recorded pass latencies (plus backfill when it happened), and
+// every timed-out pass is clamped to PassTimeout.
+func TestLatencyAccountingProperty(t *testing.T) {
+	all := partners.Default().All()
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%10 + 1
+		c := NewChain("pub.example", all[:n], 0.05, seed)
+		r := rng.New(seed)
+		res := c.Run("s", hb.SizeMediumRectangle, r)
+		var sum time.Duration
+		for _, p := range res.Passes {
+			if p.TimedOut && p.Latency != c.PassTimeout {
+				return false
+			}
+			if p.Latency > c.PassTimeout {
+				return false
+			}
+			sum += p.Latency
+		}
+		if res.Fallback {
+			return res.Latency > sum // backfill adds time
+		}
+		return res.Latency == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRevenueLoss(t *testing.T) {
+	r := Result{
+		CPM: 0.2,
+		Passes: []PassResult{
+			{Partner: "a", Bid: 0.2},
+			{Partner: "b", Bid: 0.5}, // higher bid lower in the chain
+		},
+	}
+	if got := r.RevenueLoss(); got != 0.3 {
+		t.Fatalf("revenue loss = %v, want 0.3", got)
+	}
+	none := Result{CPM: 0.5, Passes: []PassResult{{Bid: 0.2}}}
+	if none.RevenueLoss() != 0 {
+		t.Fatal("no loss expected when the best bid won")
+	}
+}
+
+func TestWaterfallIncumbentsOnTop(t *testing.T) {
+	// Big partners (high Weight) should usually hold the top tiers —
+	// the self-reinforcing hierarchy the paper describes.
+	topCount := 0
+	const trials = 50
+	for seed := int64(0); seed < trials; seed++ {
+		c := NewChain("pub.example", topPartners(t, 20), 0.01, seed)
+		top := c.Tiers[0].Partner
+		if top.Weight >= 10 {
+			topCount++
+		}
+	}
+	if topCount < trials*6/10 {
+		t.Fatalf("big partners topped only %d/%d chains", topCount, trials)
+	}
+}
+
+func TestPassLatencyScaleSpeedsUpChain(t *testing.T) {
+	ps := topPartners(t, 6)
+	slow := NewChain("pub.example", ps, 1000, 3)
+	slow.PassLatencyScale = 1.0
+	fast := NewChain("pub.example", ps, 1000, 3)
+	fast.PassLatencyScale = 0.25
+	var slowTotal, fastTotal time.Duration
+	for i := int64(0); i < 30; i++ {
+		slowTotal += slow.Run("s", hb.SizeMediumRectangle, rng.New(i)).Latency
+		fastTotal += fast.Run("s", hb.SizeMediumRectangle, rng.New(i)).Latency
+	}
+	if fastTotal >= slowTotal {
+		t.Fatalf("latency scale had no effect: fast=%v slow=%v", fastTotal, slowTotal)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	c := NewChain("pub.example", topPartners(t, 3), 0.01, 1)
+	res := c.Run("slot-9", hb.SizeLeaderboard, rng.New(1))
+	if s := res.String(); s == "" {
+		t.Fatal("empty result string")
+	}
+}

@@ -1,0 +1,237 @@
+// Package webreq models the browser's web-request layer: the records a
+// chrome.webRequest-style inspector sees, and the hook registry that lets
+// an extension observe (without altering) every request and response the
+// page makes. This is the detector's second observation channel.
+package webreq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"headerbid/internal/urlkit"
+)
+
+// Method is an HTTP method; HB bid requests are typically POST.
+type Method string
+
+const (
+	GET  Method = "GET"
+	POST Method = "POST"
+)
+
+// Kind classifies what the page was fetching, mirroring the resource types
+// the webRequest API exposes.
+type Kind string
+
+const (
+	KindDocument Kind = "document"
+	KindScript   Kind = "script"
+	KindXHR      Kind = "xhr"
+	KindImage    Kind = "image"
+	KindCreative Kind = "creative" // ad markup/impression fetch
+	KindBeacon   Kind = "beacon"   // win/render notifications
+	KindOther    Kind = "other"
+)
+
+// Request is one outgoing page request.
+type Request struct {
+	ID      int64
+	URL     string
+	Method  Method
+	Kind    Kind
+	Body    string // request payload (bid requests carry JSON)
+	Header  map[string]string
+	Sent    time.Time
+	Referer string
+}
+
+// Host returns the lower-case request host.
+func (r *Request) Host() string { return urlkit.Host(r.URL) }
+
+// Params returns the request's query parameters.
+func (r *Request) Params() map[string]string { return urlkit.QueryParams(r.URL) }
+
+// Response is the matching response delivered to the page.
+type Response struct {
+	RequestID int64
+	Status    int
+	Body      string
+	Header    map[string]string
+	Received  time.Time
+	// Err is a transport-level failure (timeout, refused); Status is 0
+	// when Err is non-empty.
+	Err string
+}
+
+// OK reports a usable 2xx response.
+func (r *Response) OK() bool { return r.Err == "" && r.Status >= 200 && r.Status < 300 }
+
+// Exchange pairs a request with its response (response may be nil if the
+// page unloaded first).
+type Exchange struct {
+	Request  *Request
+	Response *Response
+}
+
+// Latency returns the request->response delay, or 0 when unanswered.
+func (x Exchange) Latency() time.Duration {
+	if x.Response == nil || x.Request == nil {
+		return 0
+	}
+	return x.Response.Received.Sub(x.Request.Sent)
+}
+
+// String is a compact log form.
+func (x Exchange) String() string {
+	status := "pending"
+	if x.Response != nil {
+		if x.Response.Err != "" {
+			status = "err:" + x.Response.Err
+		} else {
+			status = fmt.Sprintf("%d", x.Response.Status)
+		}
+	}
+	return fmt.Sprintf("%s %s -> %s (%s)", x.Request.Method, x.Request.URL, status, x.Latency())
+}
+
+// RequestHook observes an outgoing request; ResponseHook observes a
+// delivered response. Hooks must not mutate their arguments — the paper's
+// tool explicitly infers "without altering" the requests.
+type (
+	RequestHook  func(*Request)
+	ResponseHook func(*Request, *Response)
+)
+
+// Inspector is the webRequest hook registry for one page. It records
+// every exchange and fans out to registered hooks in registration order.
+// The zero value is ready to use.
+type Inspector struct {
+	nextID    int64
+	reqHooks  map[int]RequestHook
+	respHooks map[int]ResponseHook
+	hookSeq   int
+	exchanges map[int64]*Exchange
+	order     []int64
+}
+
+// NewInspector returns an empty inspector.
+func NewInspector() *Inspector {
+	return &Inspector{
+		reqHooks:  make(map[int]RequestHook),
+		respHooks: make(map[int]ResponseHook),
+		exchanges: make(map[int64]*Exchange),
+	}
+}
+
+// OnRequest registers a request hook and returns a cancel func.
+func (in *Inspector) OnRequest(h RequestHook) (cancel func()) {
+	id := in.hookSeq
+	in.hookSeq++
+	in.reqHooks[id] = h
+	return func() { delete(in.reqHooks, id) }
+}
+
+// OnResponse registers a response hook and returns a cancel func.
+func (in *Inspector) OnResponse(h ResponseHook) (cancel func()) {
+	id := in.hookSeq
+	in.hookSeq++
+	in.respHooks[id] = h
+	return func() { delete(in.respHooks, id) }
+}
+
+// NextID allocates a request ID. The browser calls this when creating
+// requests so IDs are unique per page.
+func (in *Inspector) NextID() int64 {
+	in.nextID++
+	return in.nextID
+}
+
+// SawRequest records req and notifies request hooks.
+func (in *Inspector) SawRequest(req *Request) {
+	if req.ID == 0 {
+		req.ID = in.NextID()
+	}
+	in.exchanges[req.ID] = &Exchange{Request: req}
+	in.order = append(in.order, req.ID)
+	for _, id := range sortedHookIDs(len(in.reqHooks), in.reqHooks, nil) {
+		in.reqHooks[id](req)
+	}
+}
+
+// SawResponse records resp against its request and notifies response
+// hooks. Responses for unknown request IDs are ignored (the page may have
+// been torn down).
+func (in *Inspector) SawResponse(resp *Response) {
+	x, ok := in.exchanges[resp.RequestID]
+	if !ok {
+		return
+	}
+	x.Response = resp
+	for _, id := range sortedHookIDs(len(in.respHooks), nil, in.respHooks) {
+		in.respHooks[id](x.Request, resp)
+	}
+}
+
+func sortedHookIDs(n int, rh map[int]RequestHook, ph map[int]ResponseHook) []int {
+	ids := make([]int, 0, n)
+	if rh != nil {
+		for id := range rh {
+			ids = append(ids, id)
+		}
+	} else {
+		for id := range ph {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Exchanges returns all exchanges in request order.
+func (in *Inspector) Exchanges() []Exchange {
+	out := make([]Exchange, 0, len(in.order))
+	for _, id := range in.order {
+		out = append(out, *in.exchanges[id])
+	}
+	return out
+}
+
+// Pending returns the number of requests still awaiting a response.
+func (in *Inspector) Pending() int {
+	n := 0
+	for _, id := range in.order {
+		if in.exchanges[id].Response == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// MatchHosts returns the exchanges whose request host's registrable domain
+// appears in the given set (lower-case registrable domains). This is the
+// "apply the HB partner list" operation from Figure 3 of the paper.
+func (in *Inspector) MatchHosts(domains map[string]bool) []Exchange {
+	var out []Exchange
+	for _, id := range in.order {
+		x := in.exchanges[id]
+		host := x.Request.Host()
+		if domains[urlkit.RegistrableDomain(host)] {
+			out = append(out, *x)
+		}
+	}
+	return out
+}
+
+// HostSet builds a registrable-domain set from raw hostnames.
+func HostSet(hosts []string) map[string]bool {
+	set := make(map[string]bool, len(hosts))
+	for _, h := range hosts {
+		d := urlkit.RegistrableDomain(strings.ToLower(h))
+		if d != "" {
+			set[d] = true
+		}
+	}
+	return set
+}
