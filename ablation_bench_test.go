@@ -64,7 +64,7 @@ func BenchmarkAblationDetectionMethods(b *testing.B) {
 	run := func(opts *core.Options) (recall, precision, facetAcc float64) {
 		c := crawler.DefaultOptions(41)
 		c.Detector = opts
-		recs := crawler.CrawlWorld(w, c, nil)
+		recs := crawler.CrawlWorld(w, c)
 		return accuracy(w, recs)
 	}
 	var evRecall, evFacet, reqRecall, reqFacet, bothRecall, bothFacet float64
@@ -105,7 +105,7 @@ func BenchmarkAblationStaticVsDynamic(b *testing.B) {
 				staticFN++
 			}
 		}
-		recs := crawler.CrawlWorld(w, crawler.DefaultOptions(43), nil)
+		recs := crawler.CrawlWorld(w, crawler.DefaultOptions(43))
 		dynRecall, dynPrecision, _ = accuracy(w, recs)
 	}
 	staticRecall := float64(staticTP) / float64(maxi(1, staticTP+staticFN))
@@ -133,7 +133,7 @@ func BenchmarkAblationTimeout(b *testing.B) {
 			var revenue float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				recs := crawler.CrawlWorld(w, crawler.DefaultOptions(47), nil)
+				recs := crawler.CrawlWorld(w, crawler.DefaultOptions(47))
 				lat := analysis.LatencyCDF(recs)
 				med = lat.MedianMS
 				var bids, late int
@@ -170,7 +170,7 @@ func BenchmarkAblationNetworkQueue(b *testing.B) {
 	run := func(noQueue bool) (all stats.Box, busyMean float64) {
 		opts := crawler.DefaultOptions(53)
 		opts.NoQueueing = noQueue
-		recs := crawler.CrawlWorld(w, opts, nil)
+		recs := crawler.CrawlWorld(w, opts)
 		var lats, busy []float64
 		for _, r := range recs {
 			if r.HB && r.TotalHBLatencyMS > 0 {

@@ -1,15 +1,23 @@
 // Command hbadoption runs the historical adoption study (Figure 4):
-// static analysis of yearly top-1k archive snapshots, 2014-2019.
+// static analysis of yearly top-1k archive snapshots, 2014-2019. With
+// -live N it also measures "present-day" adoption the dynamic way — a
+// streaming Experiment over an N-site synthetic world — so the static
+// and rendered methodologies can be compared side by side.
 //
 // Usage:
 //
 //	hbadoption -top 1000 -seed 1
+//	hbadoption -top 1000 -seed 1 -live 2000
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"headerbid"
 )
@@ -18,6 +26,7 @@ func main() {
 	var (
 		top  = flag.Int("top", 1000, "publishers per yearly list")
 		seed = flag.Int64("seed", 1, "archive seed")
+		live = flag.Int("live", 0, "also crawl an N-site world for rendered present-day adoption (0 = skip)")
 	)
 	flag.Parse()
 
@@ -31,5 +40,23 @@ func main() {
 	for _, y := range years {
 		fmt.Printf("%d  sites=%-5d detected=%-4d rate=%5.1f%%  (ground truth %5.1f%%)\n",
 			y.Year, y.Sites, y.Detected, 100*y.Rate, 100*y.TrueRate)
+	}
+
+	if *live > 0 {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		res, err := headerbid.NewExperiment(
+			headerbid.WithSites(*live),
+			headerbid.WithSeed(*seed),
+		).Run(ctx)
+		if errors.Is(err, context.Canceled) {
+			log.Printf("live crawl interrupted after %d visits", res.Stats.Visits)
+			return
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nrendered crawl (%d sites, dynamic detection): rate=%5.1f%%\n",
+			res.Summary.SitesCrawled, 100*res.Summary.AdoptionRate())
 	}
 }

@@ -1,6 +1,8 @@
 // Command hbcrawl runs the measurement crawl over a generated synthetic
-// web and writes the dataset as JSONL — the repo's equivalent of the
-// paper's selenium+HBDetector crawl over the top-35k Alexa list.
+// web and streams the dataset to JSONL as visits complete — the repo's
+// equivalent of the paper's selenium+HBDetector crawl over the top-35k
+// Alexa list. Memory stays flat no matter the crawl size, and Ctrl-C
+// stops the crawl promptly (whatever was already written stays valid).
 //
 // Usage:
 //
@@ -8,10 +10,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"time"
 
 	"headerbid"
@@ -31,16 +36,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hbcrawl: ")
 
-	cfg := headerbid.DefaultWorldConfig(*seed)
-	cfg.NumSites = *sites
-	world := headerbid.GenerateWorld(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	copts := headerbid.DefaultCrawlConfig(*seed)
-	copts.Days = *days
-	copts.Workers = *workers
+	var jsonl *headerbid.JSONLSink
+	if *out == "-" {
+		jsonl = headerbid.NewJSONLSink(os.Stdout)
+	} else {
+		var err error
+		jsonl, err = headerbid.NewJSONLFileSink(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
-	start := time.Now()
-	var lastPct int = -1
+	lastPct := -1
 	progress := func(done, total int) {
 		if *quiet {
 			return
@@ -51,29 +61,39 @@ func main() {
 			fmt.Fprintf(os.Stderr, "\rcrawling... %3d%% (%d/%d)", pct, done, total)
 		}
 	}
-	recs := headerbid.CrawlWithProgress(world, copts, progress)
+
+	opts := []headerbid.ExperimentOption{
+		headerbid.WithSites(*sites),
+		headerbid.WithSeed(*seed),
+		headerbid.WithDays(*days),
+		headerbid.WithSink(jsonl),
+		headerbid.WithProgress(progress),
+	}
+	if *workers > 0 {
+		opts = append(opts, headerbid.WithWorkers(*workers))
+	}
+
+	res, err := headerbid.NewExperiment(opts...).Run(ctx)
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
 	}
-
-	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		w = f
+	if errors.Is(err, context.Canceled) {
+		log.Printf("interrupted after %d visits; partial dataset flushed", res.Stats.Visits)
+		os.Exit(130)
 	}
-	if err := headerbid.WriteDataset(w, recs); err != nil {
+	if err != nil {
 		log.Fatal(err)
 	}
 
-	sum := headerbid.Summarize(recs)
-	log.Printf("crawled %d sites (%d visits) in %s", sum.SitesCrawled, len(recs), time.Since(start).Round(time.Millisecond))
+	sum := res.Summary
+	log.Printf("crawled %d sites (%d visits) in %s", sum.SitesCrawled, res.Stats.Visits, res.Elapsed.Round(time.Millisecond))
 	log.Printf("HB sites: %d (%.2f%%), auctions: %d, bids: %d, partners: %d",
 		sum.SitesWithHB, 100*sum.AdoptionRate(), sum.Auctions, sum.Bids, sum.DemandPartners)
+	if res.Latency.Sites > 0 {
+		log.Printf("median HB latency: %.0f ms (>3s on %.1f%% of HB sites)",
+			res.Latency.MedianMS, 100*res.Latency.FracOver3s)
+	}
 	if *out != "-" {
-		log.Printf("dataset written to %s", *out)
+		log.Printf("dataset written to %s (%d records)", *out, jsonl.Count())
 	}
 }

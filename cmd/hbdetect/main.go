@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -46,7 +47,20 @@ func main() {
 	fmt.Printf("truth   hb=%v facet=%s partners=%v slots=%d timeout=%dms\n\n",
 		site.HB, site.Facet.Short(), site.Partners, len(site.AdUnits), site.TimeoutMS)
 
-	rec := headerbid.VisitSite(world, site, *day, headerbid.DefaultCrawlConfig(*seed))
+	// A single-site, single-day Experiment: the same streaming pipeline
+	// the full crawl uses, filtered down to one visit.
+	collect := headerbid.NewCollectSink()
+	_, err := headerbid.NewExperiment(
+		headerbid.WithWorld(world),
+		headerbid.WithSeed(*seed),
+		headerbid.WithFirstDay(*day),
+		headerbid.WithSiteFilter(func(s *headerbid.Site) bool { return s.Domain == site.Domain }),
+		headerbid.WithSink(collect),
+	).Run(context.Background())
+	if err != nil || len(collect.Records()) != 1 {
+		log.Fatalf("visit failed: err=%v records=%d", err, len(collect.Records()))
+	}
+	rec := collect.Records()[0]
 
 	fmt.Printf("detected      hb=%v facet=%s libraries=%v\n", rec.HB, rec.Facet, rec.Libraries)
 	fmt.Printf("partners      %v\n", rec.Partners)

@@ -1,15 +1,19 @@
 // Command hbreport regenerates every dataset-derived table and figure of
 // the paper from a crawl dataset (see cmd/hbcrawl), printing the same
-// rows the paper reports.
+// rows the paper reports. With -summary it streams only the Table-1
+// roll-up, never holding more than one record in memory — usable on
+// datasets far larger than RAM.
 //
 // Usage:
 //
 //	hbreport -i crawl.jsonl
+//	hbreport -i crawl.jsonl -summary
 //	hbcrawl -sites 2000 -o - | hbreport -i -
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 
@@ -18,7 +22,8 @@ import (
 
 func main() {
 	var (
-		in = flag.String("i", "crawl.jsonl", "input JSONL dataset ('-' for stdin)")
+		in      = flag.String("i", "crawl.jsonl", "input JSONL dataset ('-' for stdin)")
+		summary = flag.Bool("summary", false, "print only the Table-1 summary, streaming in O(1) record memory")
 	)
 	flag.Parse()
 
@@ -34,6 +39,34 @@ func main() {
 		defer f.Close()
 		r = f
 	}
+
+	if *summary {
+		// Fold each record into the incremental summary sink as it is
+		// decoded; the slice is never materialized.
+		sink := headerbid.NewSummarySink()
+		n := 0
+		err := headerbid.ReadDatasetStream(r, func(rec *headerbid.SiteRecord) error {
+			n++
+			return sink.Consume(headerbid.Visit{Record: rec})
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n == 0 {
+			log.Fatal("empty dataset")
+		}
+		s := sink.Summary()
+		fmt.Printf("records          %d\n", n)
+		fmt.Printf("sites crawled    %d\n", s.SitesCrawled)
+		fmt.Printf("sites with HB    %d (%.2f%%)\n", s.SitesWithHB, 100*s.AdoptionRate())
+		fmt.Printf("auctions         %d\n", s.Auctions)
+		fmt.Printf("bids             %d\n", s.Bids)
+		fmt.Printf("demand partners  %d\n", s.DemandPartners)
+		fmt.Printf("crawl days       %d\n", s.CrawlDays)
+		return
+	}
+
+	// The figure-level report needs every record in memory.
 	recs, err := headerbid.ReadDataset(r)
 	if err != nil {
 		log.Fatal(err)

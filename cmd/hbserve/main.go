@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -54,8 +55,10 @@ func main() {
 	fmt.Printf("\nexample:\n  curl -H 'Host: www.%s' http://%s/\n",
 		world.HBSites()[0].Domain, srv.Addr())
 
-	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
-	<-ch
+	// Block until interrupted, with the same context idiom the rest of
+	// the toolchain uses for cancellation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
 	fmt.Println("\nshutting down")
 }

@@ -1,12 +1,32 @@
 package headerbid_test
 
 import (
+	"context"
 	"fmt"
 
 	"headerbid"
 )
 
-// ExampleGenerateWorld shows the minimal generate→crawl→summarize flow.
+// ExampleNewExperiment shows the streaming pipeline: one configurable
+// entry point, pluggable sinks, incremental results.
+func ExampleNewExperiment() {
+	sum := headerbid.NewSummarySink()
+	res, err := headerbid.NewExperiment(
+		headerbid.WithSites(500),
+		headerbid.WithSeed(1),
+		headerbid.WithSink(sum),
+	).Run(context.Background())
+	if err != nil {
+		fmt.Println("crawl failed:", err)
+		return
+	}
+	fmt.Println(res.Summary.SitesCrawled, "sites crawled,",
+		sum.Summary() == res.Summary, "sink agrees")
+	// Output: 500 sites crawled, true sink agrees
+}
+
+// ExampleGenerateWorld shows the minimal generate→crawl→summarize flow
+// (the legacy batch facade, kept as a wrapper over the Experiment).
 func ExampleGenerateWorld() {
 	cfg := headerbid.DefaultWorldConfig(1)
 	cfg.NumSites = 500

@@ -1,11 +1,13 @@
-// Latency study: crawl a mid-sized synthetic web and reproduce the
-// paper's core latency findings — the total-HB-latency CDF (Figure 12),
-// latency vs number of demand partners (Figure 15), and the headline
-// HB-vs-waterfall comparison ("HB latency can be up to 3x waterfall in
-// the median case").
+// Latency study: crawl a mid-sized synthetic web with the streaming
+// Experiment pipeline and reproduce the paper's core latency findings —
+// the total-HB-latency CDF (Figure 12, accumulated incrementally while
+// the crawl runs), latency vs number of demand partners (Figure 15),
+// and the headline HB-vs-waterfall comparison ("HB latency can be up
+// to 3x waterfall in the median case").
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,25 +22,36 @@ func main() {
 	log.SetFlags(0)
 
 	const seed = 11
-	cfg := headerbid.DefaultWorldConfig(seed)
-	cfg.NumSites = 3000
-	world := headerbid.GenerateWorld(cfg)
 
-	start := time.Now()
-	recs := headerbid.Crawl(world, headerbid.DefaultCrawlConfig(seed))
-	fmt.Printf("crawled %d sites in %s (virtual clock)\n", len(recs), time.Since(start).Round(time.Millisecond))
+	// Figure 12 accumulates while visits stream (every Run computes it as
+	// Results.Latency); the CollectSink bridges to the figure-level
+	// analyses that need the full record slice.
+	collect := headerbid.NewCollectSink()
+	exp := headerbid.NewExperiment(
+		headerbid.WithSites(3000),
+		headerbid.WithSeed(seed),
+		headerbid.WithSink(collect),
+	)
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crawled %d sites in %s (virtual clock)\n",
+		res.Stats.Visits, res.Elapsed.Round(time.Millisecond))
 
 	rw := report.New(os.Stdout)
 
-	// Figure 12: the latency CDF with the paper's two markers.
-	lat := analysis.LatencyCDF(recs)
+	// Figure 12: the latency CDF with the paper's two markers — computed
+	// incrementally during the crawl, no batch pass over the dataset.
+	lat := res.Latency
 	rw.Figure12(lat)
 
 	// Figure 15: more partners, more latency.
+	recs := collect.Records()
 	rw.Figure15(analysis.LatencyVsPartnerCount(recs, 10))
 
 	// Headline: HB vs the waterfall standard over the same partners.
-	cmp := headerbid.CompareWithWaterfall(world, recs, seed)
+	cmp := headerbid.CompareWithWaterfall(exp.World(), recs, seed)
 	rw.Comparison(cmp)
 
 	fmt.Printf("\npaper: median ≈600ms, ≥3s in ~10%% of sites, HB/waterfall median ratio up to 3x\n")

@@ -1,7 +1,10 @@
 // Live capture: run the ecosystem over a real HTTP stack on loopback and
 // point the same browser+HBDetector at it — the integration proof that
 // nothing in the measurement pipeline depends on the virtual clock. The
-// detector inspects real requests flowing over real sockets.
+// detector inspects real requests flowing over real sockets. This is the
+// custom-environment escape hatch of the API: where the streaming
+// Experiment drives the simulated network for you, here the page and
+// detector are wired by hand via headerbid.AttachDetector.
 package main
 
 import (
@@ -11,7 +14,6 @@ import (
 
 	"headerbid"
 	"headerbid/internal/browser"
-	"headerbid/internal/core"
 	"headerbid/internal/livenet"
 	"headerbid/internal/pagert"
 )
@@ -51,16 +53,22 @@ func main() {
 	opts.PageTimeout = 30 * time.Second
 	b := browser.New(env, pagert.New(world.Registry), opts)
 
-	done := make(chan *browser.Page, 1)
-	var page *browser.Page
-	var det *core.Detector
-	page = b.Visit(site.PageURL(), func(p *browser.Page, vr *browser.VisitResult) {
-		if !vr.Loaded {
-			log.Fatalf("page failed to load: %s", vr.Err)
-		}
-		done <- p
+	// Visit and attach on the env loop: response delivery runs there, so
+	// wiring the detector from the main goroutine would race with it.
+	done := make(chan *headerbid.Page, 1)
+	pageCh := make(chan *headerbid.Page, 1)
+	detCh := make(chan *headerbid.Detector, 1)
+	env.Post(func() {
+		page := b.Visit(site.PageURL(), func(p *browser.Page, vr *browser.VisitResult) {
+			if !vr.Loaded {
+				log.Fatalf("page failed to load: %s", vr.Err)
+			}
+			done <- p
+		})
+		pageCh <- page
+		detCh <- headerbid.AttachDetector(page, world.Registry)
 	})
-	det = core.Attach(page, world.Registry)
+	page, det := <-pageCh, <-detCh
 
 	<-done
 	// Let the page settle: wait until no requests are pending.
@@ -71,7 +79,7 @@ func main() {
 		return n
 	}, 300*time.Millisecond, 20*time.Second)
 
-	obsCh := make(chan *core.Observation, 1)
+	obsCh := make(chan *headerbid.Observation, 1)
 	env.Post(func() { obsCh <- det.Observation() })
 	obs := <-obsCh
 

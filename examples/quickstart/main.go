@@ -1,11 +1,15 @@
-// Quickstart: generate a small synthetic web, visit one HB-enabled page
-// with HBDetector attached, and print what the detector observed — the
-// single-page workflow the paper ships as a browser extension.
+// Quickstart: the streaming Experiment pipeline end to end — generate a
+// small synthetic web, crawl it with HBDetector attached, watch HB sites
+// stream out of the pipeline as their visits complete, then drill into
+// one site with the single-page entry point (the workflow the paper
+// ships as a browser extension).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"headerbid"
 )
@@ -13,35 +17,48 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	// A 200-site world, deterministically generated.
-	cfg := headerbid.DefaultWorldConfig(7)
-	cfg.NumSites = 200
-	world := headerbid.GenerateWorld(cfg)
+	// One entry point, composable options, pluggable outputs: print each
+	// HB site the moment its visit completes (a custom SinkFunc), while
+	// the run accumulates Table-1 numbers incrementally.
+	var firstHybrid *headerbid.SiteRecord
+	exp := headerbid.NewExperiment(
+		headerbid.WithSites(200),
+		headerbid.WithSeed(7),
+		headerbid.WithSink(headerbid.SinkFunc(func(v headerbid.Visit) error {
+			r := v.Record
+			if r.HB {
+				fmt.Printf("  [%3d/%3d] %-20s facet=%-7s partners=%d latency=%4.0fms\n",
+					v.Done, v.Total, r.Domain, r.Facet, len(r.Partners), r.TotalHBLatencyMS)
+				if firstHybrid == nil && r.Facet == "hybrid" {
+					firstHybrid = r
+				}
+			}
+			return nil
+		})),
+	)
 
-	// Pick the first hybrid-HB site: the richest facet (client-side
-	// auction + DFP-style ad server adding its own demand).
-	var site *headerbid.Site
-	for _, s := range world.HBSites() {
-		if s.Facet == headerbid.FacetHybrid {
-			site = s
-			break
-		}
+	fmt.Println("streaming crawl of a 200-site world (HB sites as they complete):")
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
 	}
-	if site == nil {
+
+	fmt.Printf("\ncrawled %d sites in %s: %d HB (%.1f%%), %d auctions, %d bids, %d partners\n",
+		res.Summary.SitesCrawled, res.Elapsed.Round(time.Millisecond), res.Summary.SitesWithHB,
+		100*res.Summary.AdoptionRate(), res.Summary.Auctions, res.Summary.Bids,
+		res.Summary.DemandPartners)
+	fmt.Printf("median HB latency: %.0f ms\n\n", res.Latency.MedianMS)
+
+	if firstHybrid == nil {
 		log.Fatal("no hybrid site generated (unexpected for this seed)")
 	}
-	fmt.Printf("visiting %s (ground truth: %s, %d ad units, partners %v)\n\n",
+
+	// Drill into the richest facet with the single-page entry point: a
+	// clean-slate visit, exactly what the crawl did for this site.
+	site, _ := exp.World().SiteByDomain(firstHybrid.Domain)
+	fmt.Printf("revisiting %s (ground truth: %s, %d ad units, partners %v)\n\n",
 		site.PageURL(), site.Facet, len(site.AdUnits), site.Partners)
-
-	// One clean-slate visit with the detector attached.
-	rec := headerbid.VisitSite(world, site, 0, headerbid.DefaultCrawlConfig(7))
-
-	fmt.Printf("detected HB:      %v\n", rec.HB)
-	fmt.Printf("detected facet:   %s\n", rec.Facet)
-	fmt.Printf("libraries seen:   %v\n", rec.Libraries)
-	fmt.Printf("partners seen:    %v\n", rec.Partners)
-	fmt.Printf("total HB latency: %.0f ms\n", rec.TotalHBLatencyMS)
-	fmt.Printf("slots auctioned:  %d\n\n", rec.AdSlotsAuctioned)
+	rec := headerbid.VisitSite(exp.World(), site, 0, headerbid.DefaultCrawlConfig(7))
 
 	for _, a := range rec.Auctions {
 		fmt.Printf("auction %s unit=%s size=%s dur=%.0fms bids=%d",

@@ -1,0 +1,225 @@
+package headerbid
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"headerbid/internal/analysis"
+	"headerbid/internal/crawler"
+	"headerbid/internal/dataset"
+	"headerbid/internal/sitegen"
+)
+
+// An Experiment is the streaming crawl pipeline: a world (given or
+// generated), a crawl policy, and a set of sinks that each completed
+// visit is pushed to in deterministic crawl order. Nothing is retained
+// by the pipeline itself — memory stays flat no matter how many sites
+// are crawled, and Run honors context cancellation mid-crawl.
+//
+//	exp := headerbid.NewExperiment(
+//		headerbid.WithSites(35000),
+//		headerbid.WithSeed(1),
+//		headerbid.WithSink(jsonl, headerbid.NewSummarySink()),
+//	)
+//	res, err := exp.Run(ctx)
+//
+// Configure with functional options; zero options give a paper-defaults
+// 1000-site, seed-1, one-day crawl.
+type Experiment struct {
+	world    *World
+	worldCfg *WorldConfig
+	sites    int
+	seed     int64
+	seedSet  bool
+
+	crawlCfg    *CrawlConfig
+	days        int
+	workers     int
+	firstDay    int
+	firstDaySet bool
+	filter      func(*Site) bool
+
+	sinks []Sink
+}
+
+// ExperimentOption configures an Experiment.
+type ExperimentOption func(*Experiment)
+
+// WithWorld crawls an existing world instead of generating one.
+func WithWorld(w *World) ExperimentOption {
+	return func(e *Experiment) { e.world = w }
+}
+
+// WithWorldConfig generates the world from cfg (ignored when WithWorld
+// is given).
+func WithWorldConfig(cfg WorldConfig) ExperimentOption {
+	return func(e *Experiment) { e.worldCfg = &cfg }
+}
+
+// WithSites sets the generated world's site count (default 1000).
+func WithSites(n int) ExperimentOption {
+	return func(e *Experiment) { e.sites = n }
+}
+
+// WithSeed seeds both world generation and the crawl's per-visit
+// randomness (default 1). Identical seeds reproduce identical streams.
+func WithSeed(seed int64) ExperimentOption {
+	return func(e *Experiment) { e.seed = seed; e.seedSet = true }
+}
+
+// WithCrawlConfig replaces the paper-default crawl policy wholesale;
+// later WithDays/WithWorkers/WithFirstDay/WithSiteFilter options still
+// override individual fields.
+func WithCrawlConfig(cfg CrawlConfig) ExperimentOption {
+	return func(e *Experiment) { e.crawlCfg = &cfg }
+}
+
+// WithDays sets how many days each HB site is revisited (the paper
+// crawled daily for 34 days; default 1).
+func WithDays(n int) ExperimentOption {
+	return func(e *Experiment) { e.days = n }
+}
+
+// WithWorkers bounds crawl parallelism (default NumCPU).
+func WithWorkers(n int) ExperimentOption {
+	return func(e *Experiment) { e.workers = n }
+}
+
+// WithFirstDay offsets the crawl calendar: the crawl covers days
+// first..first+days-1 (default 0). Useful for revisiting a site on a
+// specific day with the day's random draws.
+func WithFirstDay(first int) ExperimentOption {
+	return func(e *Experiment) { e.firstDay = first; e.firstDaySet = true }
+}
+
+// WithSiteFilter restricts the crawl to sites f returns true for —
+// single-site, single-facet or rank-sliced experiments without
+// regenerating the world.
+func WithSiteFilter(f func(*Site) bool) ExperimentOption {
+	return func(e *Experiment) { e.filter = f }
+}
+
+// WithSink attaches sinks; each completed visit is pushed to every sink
+// in attachment order before the next visit is delivered.
+func WithSink(sinks ...Sink) ExperimentOption {
+	return func(e *Experiment) { e.sinks = append(e.sinks, sinks...) }
+}
+
+// WithProgress is shorthand for WithSink(NewProgressSink(fn)).
+func WithProgress(fn func(done, total int)) ExperimentOption {
+	return func(e *Experiment) { e.sinks = append(e.sinks, NewProgressSink(fn)) }
+}
+
+// NewExperiment assembles a streaming crawl pipeline from options.
+func NewExperiment(opts ...ExperimentOption) *Experiment {
+	e := &Experiment{seed: 1}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Results is what every run computes incrementally regardless of
+// attached sinks: the Table-1 roll-up, crawl health counters and the
+// latency CDF — none of which require retaining records.
+type Results struct {
+	// Summary is the Table 1 roll-up over the streamed records.
+	Summary Summary
+	// Stats counts visits/loads/timeouts/HB detections.
+	Stats CrawlStats
+	// Latency is the Figure-12 total-HB-latency CDF.
+	Latency LatencyStats
+	// Elapsed is the wall-clock run time.
+	Elapsed time.Duration
+}
+
+// CrawlStats counts crawl health: visits, loads, timeouts, HB sites.
+type CrawlStats = crawler.Stats
+
+// World resolves the world this experiment crawls (generating it if
+// needed); repeated calls return the same world.
+func (e *Experiment) World() *World {
+	if e.world == nil {
+		cfg := sitegen.DefaultConfig(e.seed)
+		if e.worldCfg != nil {
+			cfg = *e.worldCfg
+			if e.seedSet {
+				cfg.Seed = e.seed
+			}
+		}
+		if e.sites > 0 {
+			cfg.NumSites = e.sites
+		}
+		e.world = sitegen.Generate(cfg)
+	}
+	return e.world
+}
+
+// crawlOptions resolves the effective crawl policy.
+func (e *Experiment) crawlOptions() crawler.Options {
+	opts := crawler.DefaultOptions(e.seed)
+	if e.crawlCfg != nil {
+		opts = *e.crawlCfg
+		if e.seedSet {
+			opts.Seed = e.seed
+		}
+	}
+	if e.days > 0 {
+		opts.Days = e.days
+	}
+	if e.workers > 0 {
+		opts.Workers = e.workers
+	}
+	if e.firstDaySet {
+		opts.FirstDay = e.firstDay
+	}
+	if e.filter != nil {
+		opts.Filter = e.filter
+	}
+	return opts
+}
+
+// Run executes the crawl, streaming each visit to the attached sinks the
+// moment it completes. It returns as soon as ctx is cancelled (with
+// ctx.Err()) or a sink fails (with that sink's error); sinks are always
+// closed exactly once, even on early exit.
+func (e *Experiment) Run(ctx context.Context) (Results, error) {
+	start := time.Now()
+	w := e.World()
+	opts := e.crawlOptions()
+
+	sum := dataset.NewSummaryAccumulator()
+	lat := analysis.NewLatencyAccumulator()
+	var stats CrawlStats
+
+	runErr := crawler.CrawlStream(ctx, w, opts, func(v Visit) error {
+		sum.Add(v.Record)
+		lat.Add(v.Record)
+		stats.Add(v.Record)
+		for i, s := range e.sinks {
+			if err := s.Consume(v); err != nil {
+				return fmt.Errorf("sink %d (%T): %w", i, s, err)
+			}
+		}
+		return nil
+	})
+
+	var closeErr error
+	for i, s := range e.sinks {
+		if err := s.Close(); err != nil && closeErr == nil {
+			closeErr = fmt.Errorf("closing sink %d (%T): %w", i, s, err)
+		}
+	}
+
+	res := Results{
+		Summary: sum.Summary(),
+		Stats:   stats,
+		Latency: lat.Result(),
+		Elapsed: time.Since(start),
+	}
+	if runErr != nil {
+		return res, runErr
+	}
+	return res, closeErr
+}

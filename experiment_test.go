@@ -1,0 +1,221 @@
+package headerbid
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"headerbid/internal/analysis"
+)
+
+// TestStreamingSummaryMatchesBatch is the redesign's core equivalence
+// claim: a crawl driven through a SummarySink and a LatencySink computes
+// byte-identical Summary and latency stats to the batch
+// Summarize(Crawl(...)) / analysis.LatencyCDF path on a seeded 1k-site
+// world — without the experiment retaining a single record.
+func TestStreamingSummaryMatchesBatch(t *testing.T) {
+	const seed, sites = 1, 1000
+	cfg := DefaultWorldConfig(seed)
+	cfg.NumSites = sites
+	w := GenerateWorld(cfg)
+
+	// Batch path (the deprecated facade).
+	recs := Crawl(w, DefaultCrawlConfig(seed))
+	batchSum := Summarize(recs)
+	batchLat := analysis.LatencyCDF(recs)
+	var batchJSONL bytes.Buffer
+	if err := WriteDataset(&batchJSONL, recs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Streaming path: summary + latency + JSONL sinks, no retention.
+	sumSink := NewSummarySink()
+	latSink := NewLatencySink()
+	var streamJSONL bytes.Buffer
+	res, err := NewExperiment(
+		WithWorld(w),
+		WithSeed(seed),
+		WithSink(sumSink, latSink, NewJSONLSink(&streamJSONL)),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := sumSink.Summary(); got != batchSum {
+		t.Fatalf("summary sink diverged:\n got %+v\nwant %+v", got, batchSum)
+	}
+	if got := sumSink.Summary().AdoptionRate(); got != batchSum.AdoptionRate() {
+		t.Fatalf("adoption rate diverged: %v vs %v", got, batchSum.AdoptionRate())
+	}
+	if res.Summary != batchSum {
+		t.Fatalf("Results.Summary diverged:\n got %+v\nwant %+v", res.Summary, batchSum)
+	}
+	if got := latSink.Result(); !reflect.DeepEqual(got, batchLat) {
+		t.Fatalf("latency sink diverged:\n got %+v\nwant %+v", got, batchLat)
+	}
+	if !reflect.DeepEqual(res.Latency, batchLat) {
+		t.Fatalf("Results.Latency diverged")
+	}
+	// The streamed dataset must be byte-identical to the batch one: same
+	// records, same order, same encoding.
+	if !bytes.Equal(streamJSONL.Bytes(), batchJSONL.Bytes()) {
+		t.Fatalf("streamed JSONL differs from batch JSONL (%d vs %d bytes)",
+			streamJSONL.Len(), batchJSONL.Len())
+	}
+	if res.Stats.Visits != sites || res.Stats.HB != batchSum.SitesWithHB {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+}
+
+// TestExperimentCancellation: Run must stop promptly mid-crawl and
+// return ctx.Err() when the context is cancelled.
+func TestExperimentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	seen := 0
+	start := time.Now()
+	res, err := NewExperiment(
+		WithSites(600),
+		WithSeed(3),
+		WithSink(SinkFunc(func(v Visit) error {
+			seen++
+			if seen == 15 {
+				cancel()
+			}
+			return nil
+		})),
+	).Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if seen >= 600 {
+		t.Fatalf("crawl completed despite cancellation (%d visits)", seen)
+	}
+	if res.Stats.Visits != seen {
+		t.Fatalf("partial results inconsistent: stats=%d seen=%d", res.Stats.Visits, seen)
+	}
+	if d := time.Since(start); d > 20*time.Second {
+		t.Fatalf("cancellation took %s", d)
+	}
+}
+
+// TestExperimentSinkErrorAborts: a failing sink aborts the run and its
+// error (wrapped with the sink's identity) is returned.
+func TestExperimentSinkErrorAborts(t *testing.T) {
+	sentinel := errors.New("disk full")
+	n := 0
+	_, err := NewExperiment(
+		WithSites(200),
+		WithSeed(5),
+		WithSink(SinkFunc(func(v Visit) error {
+			n++
+			if n == 3 {
+				return sentinel
+			}
+			return nil
+		})),
+	).Run(context.Background())
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if n != 3 {
+		t.Fatalf("sink consumed %d visits after its error", n)
+	}
+}
+
+// TestExperimentOptions: option plumbing — explicit world config, days,
+// workers, site filter and first-day offset all reach the crawler.
+func TestExperimentOptions(t *testing.T) {
+	collect := NewCollectSink()
+	res, err := NewExperiment(
+		WithWorldConfig(func() WorldConfig {
+			c := DefaultWorldConfig(9)
+			c.NumSites = 150
+			return c
+		}()),
+		WithSeed(9),
+		WithDays(2),
+		WithWorkers(2),
+		WithSink(collect),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.SitesCrawled != 150 || res.Summary.CrawlDays != 2 {
+		t.Fatalf("summary = %+v", res.Summary)
+	}
+	if len(collect.Records()) <= 150 {
+		t.Fatalf("2-day crawl emitted %d records, want >150", len(collect.Records()))
+	}
+
+	// Filtered single-site experiment on a specific day.
+	exp := NewExperiment(WithSites(150), WithSeed(9))
+	site := exp.World().HBSites()[0]
+	one := NewCollectSink()
+	_, err = NewExperiment(
+		WithWorld(exp.World()),
+		WithSeed(9),
+		WithFirstDay(2),
+		WithSiteFilter(func(s *Site) bool { return s.Domain == site.Domain }),
+		WithSink(one),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Records()) != 1 || one.Records()[0].VisitDay != 2 {
+		t.Fatalf("filtered records = %+v", one.Records())
+	}
+	// Must match the single-page entry point exactly.
+	want := VisitSite(exp.World(), site, 2, DefaultCrawlConfig(9))
+	if got := one.Records()[0]; got.TotalHBLatencyMS != want.TotalHBLatencyMS || got.HB != want.HB {
+		t.Fatalf("filtered visit diverged from VisitSite: %+v vs %+v", got, want)
+	}
+}
+
+// TestWithSeedOverridesWorldConfig: WithSeed promises to seed world
+// generation even when an explicit WorldConfig (with its own seed) is
+// supplied, mirroring how it overrides CrawlConfig's seed.
+func TestWithSeedOverridesWorldConfig(t *testing.T) {
+	cfg := DefaultWorldConfig(1)
+	cfg.NumSites = 80
+	reseeded := NewExperiment(WithWorldConfig(cfg), WithSeed(42)).World()
+	want := func() *World {
+		c := DefaultWorldConfig(42)
+		c.NumSites = 80
+		return GenerateWorld(c)
+	}()
+	if len(reseeded.HBSites()) != len(want.HBSites()) {
+		t.Fatalf("WithSeed ignored by world generation: %d HB sites, want %d",
+			len(reseeded.HBSites()), len(want.HBSites()))
+	}
+	// And without WithSeed the explicit config's seed is respected.
+	asIs := NewExperiment(WithWorldConfig(cfg)).World()
+	seed1 := GenerateWorld(cfg)
+	if len(asIs.HBSites()) != len(seed1.HBSites()) {
+		t.Fatalf("explicit config seed not respected")
+	}
+}
+
+// TestDeprecatedWrappersStillWork: the legacy batch facade must keep its
+// exact behavior now that it rides on the Experiment.
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	cfg := DefaultWorldConfig(4)
+	cfg.NumSites = 120
+	w := GenerateWorld(cfg)
+	recs := Crawl(w, DefaultCrawlConfig(4))
+	if len(recs) != 120 {
+		t.Fatalf("Crawl returned %d records", len(recs))
+	}
+	var last, total int
+	recs2 := CrawlWithProgress(w, DefaultCrawlConfig(4), func(d, tot int) { last, total = d, tot })
+	if last != 120 || total != 120 {
+		t.Fatalf("progress ended at %d/%d", last, total)
+	}
+	for i := range recs {
+		if recs[i].Domain != recs2[i].Domain || recs[i].TotalHBLatencyMS != recs2[i].TotalHBLatencyMS {
+			t.Fatalf("wrapper crawls diverged at %d", i)
+		}
+	}
+}

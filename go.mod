@@ -1,0 +1,3 @@
+module headerbid
+
+go 1.24

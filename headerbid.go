@@ -6,18 +6,25 @@
 // 35,000 publishers to measure, a crawler, and analyzers that regenerate
 // every table and figure of the paper.
 //
-// Quick start:
+// Quick start — the streaming Experiment pipeline:
 //
-//	world := headerbid.GenerateWorld(headerbid.WorldConfig{Seed: 1, NumSites: 1000})
-//	recs := headerbid.Crawl(world, headerbid.CrawlConfig{Seed: 1})
-//	sum := headerbid.Summarize(recs)
-//	fmt.Printf("HB adoption: %.2f%%\n", 100*sum.AdoptionRate())
+//	exp := headerbid.NewExperiment(headerbid.WithSites(1000), headerbid.WithSeed(1))
+//	res, err := exp.Run(context.Background())
+//	fmt.Printf("HB adoption: %.2f%%\n", 100*res.Summary.AdoptionRate())
+//
+// Experiments stream each completed visit to pluggable Sinks (JSONL
+// writing, incremental summaries, latency aggregation, progress, custom
+// SinkFunc) the moment the visit finishes, so crawls of any size run in
+// flat memory and stop promptly when the context is cancelled. The
+// legacy batch entry points (Crawl, Summarize, WriteDataset, ...) remain
+// as thin deprecated wrappers over the Experiment.
 //
 // The package is a thin facade; the implementation lives in internal/
 // packages (see DESIGN.md for the system inventory).
 package headerbid
 
 import (
+	"context"
 	"io"
 
 	"headerbid/internal/analysis"
@@ -83,13 +90,26 @@ func DefaultCrawlConfig(seed int64) CrawlConfig { return crawler.DefaultOptions(
 
 // Crawl measures a world with clean-slate instances on the simulated
 // network and returns one record per site visit.
+//
+// Deprecated: Crawl materializes the whole dataset and cannot be
+// cancelled. Use NewExperiment with sinks (or a CollectSink when the
+// full slice is genuinely needed) and Run(ctx).
 func Crawl(w *World, cfg CrawlConfig) []*SiteRecord {
-	return crawler.CrawlWorld(w, cfg, nil)
+	c := NewCollectSink()
+	// Background context + in-memory sinks: Run cannot fail here.
+	_, _ = NewExperiment(WithWorld(w), WithCrawlConfig(cfg), WithSink(c)).Run(context.Background())
+	return c.Records()
 }
 
 // CrawlWithProgress is Crawl with a progress callback.
+//
+// Deprecated: use NewExperiment with WithProgress (or NewProgressSink)
+// and Run(ctx).
 func CrawlWithProgress(w *World, cfg CrawlConfig, progress func(done, total int)) []*SiteRecord {
-	return crawler.CrawlWorld(w, cfg, crawler.Progress(progress))
+	c := NewCollectSink()
+	_, _ = NewExperiment(WithWorld(w), WithCrawlConfig(cfg),
+		WithSink(c), WithProgress(progress)).Run(context.Background())
+	return c.Records()
 }
 
 // VisitSite measures one site (one clean-slate visit) and returns its
@@ -100,20 +120,36 @@ func VisitSite(w *World, s *Site, day int, cfg CrawlConfig) *SiteRecord {
 }
 
 // Summarize computes the Table 1 numbers.
+//
+// Deprecated: use a SummarySink on a running Experiment (or
+// Results.Summary, which every Run computes) so the numbers accumulate
+// without retaining records.
 func Summarize(recs []*SiteRecord) Summary { return dataset.Summarize(recs) }
 
 // WriteDataset writes records as JSONL.
+//
+// Deprecated: attach a JSONLSink to an Experiment to stream the dataset
+// to disk while the crawl runs.
 func WriteDataset(w io.Writer, recs []*SiteRecord) error {
-	dw := dataset.NewWriter(w)
+	sink := NewJSONLSink(w)
 	for _, r := range recs {
-		if err := dw.Write(r); err != nil {
+		if err := sink.Consume(Visit{Record: r}); err != nil {
 			return err
 		}
 	}
-	return dw.Close()
+	return sink.Close()
+}
+
+// ReadDatasetStream decodes a JSONL dataset record by record, handing
+// each to fn without materializing the dataset.
+func ReadDatasetStream(r io.Reader, fn func(*SiteRecord) error) error {
+	return dataset.ReadStream(r, fn)
 }
 
 // ReadDataset loads a JSONL dataset.
+//
+// Deprecated: use ReadDatasetStream to process records without holding
+// the whole dataset (ReadDataset remains for analyses that need it all).
 func ReadDataset(r io.Reader) ([]*SiteRecord, error) { return dataset.Read(r) }
 
 // Report renders every dataset-derived table and figure to w.

@@ -49,7 +49,7 @@ func TestCompareWithWaterfall(t *testing.T) {
 	cfg := sitegen.DefaultConfig(5)
 	cfg.NumSites = 1200
 	w := sitegen.Generate(cfg)
-	recs := crawler.CrawlWorld(w, crawler.DefaultOptions(5), nil)
+	recs := crawler.CrawlWorld(w, crawler.DefaultOptions(5))
 	cmp := CompareWithWaterfall(w, recs, 5)
 
 	if cmp.Sites < 100 {

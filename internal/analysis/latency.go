@@ -25,23 +25,49 @@ type LatencyCDFResult struct {
 	Sites      int
 }
 
-// LatencyCDF computes the total HB latency CDF across HB sites.
-func LatencyCDF(recs []*dataset.SiteRecord) LatencyCDFResult {
-	var xs []float64
-	for _, r := range hbRecords(recs) {
-		if r.TotalHBLatencyMS > 0 {
-			xs = append(xs, r.TotalHBLatencyMS)
-		}
+// LatencyAccumulator builds the Figure-12 latency CDF incrementally, one
+// record at a time, so a streaming crawl can compute it without ever
+// holding the record slice: only the per-site latency samples (one
+// float64 per HB site) are retained.
+type LatencyAccumulator struct {
+	xs []float64
+}
+
+// NewLatencyAccumulator returns an empty accumulator.
+func NewLatencyAccumulator() *LatencyAccumulator { return &LatencyAccumulator{} }
+
+// Add folds one record in (non-HB and latency-free records are ignored,
+// mirroring the batch filter).
+func (a *LatencyAccumulator) Add(r *dataset.SiteRecord) {
+	if r.HB && r.TotalHBLatencyMS > 0 {
+		a.xs = append(a.xs, r.TotalHBLatencyMS)
 	}
-	e := stats.NewECDF(xs)
+}
+
+// Samples reports how many latency samples have been folded in.
+func (a *LatencyAccumulator) Samples() int { return len(a.xs) }
+
+// Result computes the CDF over everything added so far.
+func (a *LatencyAccumulator) Result() LatencyCDFResult {
+	e := stats.NewECDF(a.xs)
 	return LatencyCDFResult{
 		ECDF:       e,
 		MedianMS:   e.Quantile(0.5),
 		FracOver1s: 1 - e.P(1000),
 		FracOver3s: 1 - e.P(3000),
 		FracOver5s: 1 - e.P(5000),
-		Sites:      len(xs),
+		Sites:      len(a.xs),
 	}
+}
+
+// LatencyCDF computes the total HB latency CDF across HB sites — the
+// batch convenience over LatencyAccumulator.
+func LatencyCDF(recs []*dataset.SiteRecord) LatencyCDFResult {
+	a := NewLatencyAccumulator()
+	for _, r := range recs {
+		a.Add(r)
+	}
+	return a.Result()
 }
 
 // LatencyVsRank reproduces Figure 13: per-rank-bin whisker summaries of

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"headerbid/internal/crawler"
+	"headerbid/internal/dataset"
+	"headerbid/internal/sitegen"
+)
+
+// TestLatencyAccumulatorMatchesBatch feeds a real crawl record-by-record
+// and requires the streaming result to be deep-equal to the batch CDF —
+// markers, sample count and the full ECDF.
+func TestLatencyAccumulatorMatchesBatch(t *testing.T) {
+	cfg := sitegen.DefaultConfig(17)
+	cfg.NumSites = 400
+	w := sitegen.Generate(cfg)
+	recs := crawler.CrawlWorld(w, crawler.DefaultOptions(17))
+
+	acc := NewLatencyAccumulator()
+	for _, r := range recs {
+		acc.Add(r)
+	}
+	got, want := acc.Result(), LatencyCDF(recs)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streaming CDF diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Sites == 0 {
+		t.Fatal("no latency samples in a 400-site crawl")
+	}
+	if acc.Samples() != got.Sites {
+		t.Fatalf("Samples() = %d, Sites = %d", acc.Samples(), got.Sites)
+	}
+}
+
+// TestLatencyAccumulatorFilters: non-HB and zero-latency records must not
+// contribute samples.
+func TestLatencyAccumulatorFilters(t *testing.T) {
+	acc := NewLatencyAccumulator()
+	acc.Add(&dataset.SiteRecord{Domain: "a", HB: false, TotalHBLatencyMS: 500})
+	acc.Add(&dataset.SiteRecord{Domain: "b", HB: true, TotalHBLatencyMS: 0})
+	if acc.Samples() != 0 {
+		t.Fatalf("samples = %d, want 0", acc.Samples())
+	}
+	acc.Add(&dataset.SiteRecord{Domain: "c", HB: true, TotalHBLatencyMS: 750})
+	res := acc.Result()
+	if res.Sites != 1 || res.MedianMS != 750 {
+		t.Fatalf("result = %+v", res)
+	}
+}

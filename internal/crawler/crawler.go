@@ -12,9 +12,16 @@
 //     seconds.
 //   - Live (real HTTP): the same visit logic over package livenet, used
 //     by integration tests and the live examples.
+//
+// The primary entry point is CrawlStream: it pushes each completed visit
+// to a caller-supplied emit function in deterministic crawl order (by
+// day, then rank) the moment it becomes emittable, honors context
+// cancellation, and never materializes the dataset. CrawlWorld is the
+// batch convenience built on top of it.
 package crawler
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -44,6 +51,13 @@ type Options struct {
 	Days int
 	// Seed namespaces the per-visit randomness.
 	Seed int64
+	// FirstDay offsets the crawl calendar: the crawl covers days
+	// FirstDay..FirstDay+Days-1. The first crawled day visits every site;
+	// later days revisit HB sites. Default 0.
+	FirstDay int
+	// Filter restricts the crawl to sites it returns true for (nil = all).
+	// Useful for single-site or single-facet experiments.
+	Filter func(*sitegen.Site) bool
 	// NoQueueing disables the single-threaded JS main-thread model
 	// (browser handler cost), for the §7.2 ablation.
 	NoQueueing bool
@@ -64,85 +78,168 @@ func DefaultOptions(seed int64) Options {
 	}
 }
 
-// Progress is an optional progress callback: visited/total.
-type Progress func(done, total int)
+// Visit is one completed site visit as seen by a streaming consumer.
+// Done/Total describe progress within the current crawl day (the job
+// count of later days is only known once the first day's HB detections
+// are in, so totals are per-day by construction).
+type Visit struct {
+	Record *dataset.SiteRecord
+	Day    int // crawl day of this visit
+	Done   int // visits emitted so far this day (1-based, this one included)
+	Total  int // visits scheduled this day
+}
 
-// CrawlWorld runs the full measurement over a generated world on the
-// simulated network and returns all site records (visit order: by day,
-// then rank).
-func CrawlWorld(w *sitegen.World, opts Options, progress Progress) []*dataset.SiteRecord {
+// EmitFunc receives each visit in deterministic crawl order (by day, then
+// rank). Returning a non-nil error aborts the crawl and surfaces the
+// error from CrawlStream.
+type EmitFunc func(Visit) error
+
+type crawlJob struct {
+	site *sitegen.Site
+	day  int
+}
+
+// CrawlStream runs the full measurement over a generated world on the
+// simulated network, pushing each record to emit the moment it becomes
+// emittable in order — no record is retained by the crawler itself.
+// Visits run on opts.Workers goroutines; a small reorder window (bounded
+// by worker count) restores deterministic order, so the stream is
+// byte-identical to the batch path regardless of scheduling.
+//
+// CrawlStream returns ctx.Err() as soon as the context is cancelled
+// (in-flight visits finish but are not emitted), or the first error
+// returned by emit.
+func CrawlStream(ctx context.Context, w *sitegen.World, opts Options, emit EmitFunc) error {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.NumCPU()
 	}
 	if opts.Days <= 0 {
 		opts.Days = 1
 	}
-
-	type job struct {
-		site *sitegen.Site
-		day  int
+	if emit == nil {
+		emit = func(Visit) error { return nil }
 	}
+
+	// First day: every site (subject to Filter). Later days: HB sites
+	// only, decided from the first day's emitted records.
+	first := make([]crawlJob, 0, len(w.Sites))
+	for _, s := range w.Sites {
+		if opts.Filter != nil && !opts.Filter(s) {
+			continue
+		}
+		first = append(first, crawlJob{site: s, day: opts.FirstDay})
+	}
+
+	hbDomains := make(map[string]bool)
+	track := func(v Visit) error {
+		if v.Record.HB {
+			hbDomains[v.Record.Domain] = true
+		}
+		return emit(v)
+	}
+	if err := streamDay(ctx, w, first, opts, track); err != nil {
+		return err
+	}
+
+	for day := opts.FirstDay + 1; day < opts.FirstDay+opts.Days; day++ {
+		var jobs []crawlJob
+		for _, s := range w.Sites {
+			if hbDomains[s.Domain] {
+				jobs = append(jobs, crawlJob{site: s, day: day})
+			}
+		}
+		if err := streamDay(ctx, w, jobs, opts, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamDay crawls one day's job list with a worker pool and emits the
+// records in job order.
+func streamDay(parent context.Context, w *sitegen.World, jobs []crawlJob, opts Options, emit EmitFunc) error {
+	// An internal cancel stops the feeder both on caller cancellation and
+	// on emit error, so workers drain promptly in either case.
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
 	type result struct {
 		rec *dataset.SiteRecord
 		idx int
 	}
+	jobCh := make(chan int)
+	resCh := make(chan result, opts.Workers)
 
-	// Day 0: everything. Days 1..n-1: HB sites only (decided after day 0).
-	day0 := make([]job, 0, len(w.Sites))
-	for _, s := range w.Sites {
-		day0 = append(day0, job{site: s, day: 0})
-	}
-
-	var all []*dataset.SiteRecord
-	hbDomains := make(map[string]bool)
-
-	runDay := func(jobs []job) []*dataset.SiteRecord {
-		recs := make([]*dataset.SiteRecord, len(jobs))
-		var wg sync.WaitGroup
-		ch := make(chan int)
-		var done int64
-		var mu sync.Mutex
-		for wk := 0; wk < opts.Workers; wk++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for idx := range ch {
-					j := jobs[idx]
-					recs[idx] = VisitSimulated(w, j.site, j.day, opts)
-					if progress != nil {
-						mu.Lock()
-						done++
-						progress(int(done), len(jobs))
-						mu.Unlock()
-					}
+	var wg sync.WaitGroup
+	for wk := 0; wk < opts.Workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobCh {
+				j := jobs[idx]
+				rec := VisitSimulated(w, j.site, j.day, opts)
+				select {
+				case resCh <- result{rec: rec, idx: idx}:
+				case <-ctx.Done():
+					return
 				}
-			}()
-		}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobCh)
 		for i := range jobs {
-			ch <- i
-		}
-		close(ch)
-		wg.Wait()
-		return recs
-	}
-
-	recs := runDay(day0)
-	all = append(all, recs...)
-	for _, r := range recs {
-		if r.HB {
-			hbDomains[r.Domain] = true
-		}
-	}
-
-	for day := 1; day < opts.Days; day++ {
-		var jobs []job
-		for _, s := range w.Sites {
-			if hbDomains[s.Domain] {
-				jobs = append(jobs, job{site: s, day: day})
+			select {
+			case jobCh <- i:
+			case <-ctx.Done():
+				return
 			}
 		}
-		all = append(all, runDay(jobs)...)
+	}()
+	go func() { wg.Wait(); close(resCh) }()
+
+	// Reorder completion order back into job order before emitting. The
+	// pending map never grows past the out-of-order window (≈ workers).
+	pending := make(map[int]*dataset.SiteRecord, opts.Workers)
+	next := 0
+	var emitErr error
+	for res := range resCh {
+		if emitErr != nil || ctx.Err() != nil {
+			cancel() // stop feeding; keep draining so workers can exit
+			continue
+		}
+		pending[res.idx] = res.rec
+		for {
+			rec, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if err := emit(Visit{Record: rec, Day: rec.VisitDay, Done: next, Total: len(jobs)}); err != nil {
+				emitErr = err
+				cancel()
+				break
+			}
+		}
 	}
+	if emitErr != nil {
+		return emitErr
+	}
+	// Report cancellation of the caller's context, not our internal one.
+	return parent.Err()
+}
+
+// CrawlWorld runs the full measurement and returns all site records
+// (visit order: by day, then rank) — the batch convenience over
+// CrawlStream for callers that want the whole dataset in memory.
+func CrawlWorld(w *sitegen.World, opts Options) []*dataset.SiteRecord {
+	all := make([]*dataset.SiteRecord, 0, len(w.Sites))
+	// Background context + collecting emit: cannot fail.
+	_ = CrawlStream(context.Background(), w, opts, func(v Visit) error {
+		all = append(all, v.Record)
+		return nil
+	})
 	return all
 }
 
@@ -214,19 +311,26 @@ type Stats struct {
 	HB       int
 }
 
+// Add folds one record into the stats (the streaming counterpart of
+// StatsOf).
+func (s *Stats) Add(r *dataset.SiteRecord) {
+	s.Visits++
+	if r.Loaded {
+		s.Loaded++
+	}
+	if r.TimedOut {
+		s.TimedOut++
+	}
+	if r.HB {
+		s.HB++
+	}
+}
+
 // StatsOf computes crawl stats.
 func StatsOf(recs []*dataset.SiteRecord) Stats {
-	st := Stats{Visits: len(recs)}
+	var st Stats
 	for _, r := range recs {
-		if r.Loaded {
-			st.Loaded++
-		}
-		if r.TimedOut {
-			st.TimedOut++
-		}
-		if r.HB {
-			st.HB++
-		}
+		st.Add(r)
 	}
 	return st
 }

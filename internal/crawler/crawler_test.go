@@ -18,7 +18,7 @@ func smallWorld(t *testing.T, n int) *sitegen.World {
 
 func TestCrawlDetectsHB(t *testing.T) {
 	w := smallWorld(t, 400)
-	recs := CrawlWorld(w, DefaultOptions(7), nil)
+	recs := CrawlWorld(w, DefaultOptions(7))
 	if len(recs) != 400 {
 		t.Fatalf("got %d records, want 400", len(recs))
 	}
@@ -49,7 +49,7 @@ func TestCrawlDetectsHB(t *testing.T) {
 
 func TestCrawlLatenciesPlausible(t *testing.T) {
 	w := smallWorld(t, 300)
-	recs := CrawlWorld(w, DefaultOptions(7), nil)
+	recs := CrawlWorld(w, DefaultOptions(7))
 	var lat []float64
 	for _, r := range recs {
 		if r.HB && r.TotalHBLatencyMS > 0 {
@@ -99,7 +99,7 @@ func TestCrawlMultiDay(t *testing.T) {
 	w := smallWorld(t, 120)
 	opts := DefaultOptions(3)
 	opts.Days = 3
-	recs := CrawlWorld(w, opts, nil)
+	recs := CrawlWorld(w, opts)
 	sum := dataset.Summarize(recs)
 	if sum.CrawlDays != 3 {
 		t.Fatalf("crawl days = %d, want 3", sum.CrawlDays)
@@ -121,7 +121,7 @@ func TestCrawlMultiDay(t *testing.T) {
 func TestCrawlTimingBudget(t *testing.T) {
 	w := smallWorld(t, 150)
 	start := time.Now()
-	CrawlWorld(w, DefaultOptions(5), nil)
+	CrawlWorld(w, DefaultOptions(5))
 	if d := time.Since(start); d > 30*time.Second {
 		t.Fatalf("150-site crawl took %s; the virtual clock should make this fast", d)
 	}

@@ -210,9 +210,10 @@ func (w *Writer) Close() error {
 	return nil
 }
 
-// Read loads all records from a JSONL stream.
-func Read(r io.Reader) ([]*SiteRecord, error) {
-	var out []*SiteRecord
+// ReadStream decodes a JSONL stream record by record, handing each to fn
+// without materializing the dataset. A non-nil error from fn aborts the
+// read and is returned verbatim.
+func ReadStream(r io.Reader, fn func(*SiteRecord) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	line := 0
@@ -223,12 +224,27 @@ func Read(r io.Reader) ([]*SiteRecord, error) {
 		}
 		var rec SiteRecord
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+			return fmt.Errorf("dataset: line %d: %w", line, err)
 		}
-		out = append(out, &rec)
+		if err := fn(&rec); err != nil {
+			return err
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dataset: %w", err)
+		return fmt.Errorf("dataset: %w", err)
+	}
+	return nil
+}
+
+// Read loads all records from a JSONL stream.
+func Read(r io.Reader) ([]*SiteRecord, error) {
+	var out []*SiteRecord
+	err := ReadStream(r, func(rec *SiteRecord) error {
+		out = append(out, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -253,39 +269,68 @@ type Summary struct {
 	CrawlDays      int
 }
 
-// Summarize computes the Table 1 numbers from records.
-func Summarize(recs []*SiteRecord) Summary {
-	s := Summary{}
-	partnerSet := make(map[string]bool)
-	siteSeen := make(map[string]bool)
-	hbSeen := make(map[string]bool)
-	maxDay := -1
-	for _, r := range recs {
-		if !siteSeen[r.Domain] {
-			siteSeen[r.Domain] = true
-			s.SitesCrawled++
-		}
-		if r.VisitDay > maxDay {
-			maxDay = r.VisitDay
-		}
-		if r.HB && !hbSeen[r.Domain] {
-			hbSeen[r.Domain] = true
-			s.SitesWithHB++
-		}
-		s.Auctions += len(r.Auctions)
-		for _, a := range r.Auctions {
-			s.Bids += len(a.Bids)
-		}
-		for _, p := range r.Partners {
-			partnerSet[p] = true
-		}
-		for _, p := range r.Winners {
-			partnerSet[p] = true
-		}
+// SummaryAccumulator folds records into a Summary one at a time, so
+// Table-1 numbers never require the whole dataset in memory. Its state
+// is O(distinct sites + distinct partners), not O(records).
+type SummaryAccumulator struct {
+	s          Summary
+	partnerSet map[string]bool
+	siteSeen   map[string]bool
+	hbSeen     map[string]bool
+	maxDay     int
+}
+
+// NewSummaryAccumulator returns an empty accumulator.
+func NewSummaryAccumulator() *SummaryAccumulator {
+	return &SummaryAccumulator{
+		partnerSet: make(map[string]bool),
+		siteSeen:   make(map[string]bool),
+		hbSeen:     make(map[string]bool),
+		maxDay:     -1,
 	}
-	s.DemandPartners = len(partnerSet)
-	s.CrawlDays = maxDay + 1
+}
+
+// Add folds one record in.
+func (a *SummaryAccumulator) Add(r *SiteRecord) {
+	if !a.siteSeen[r.Domain] {
+		a.siteSeen[r.Domain] = true
+		a.s.SitesCrawled++
+	}
+	if r.VisitDay > a.maxDay {
+		a.maxDay = r.VisitDay
+	}
+	if r.HB && !a.hbSeen[r.Domain] {
+		a.hbSeen[r.Domain] = true
+		a.s.SitesWithHB++
+	}
+	a.s.Auctions += len(r.Auctions)
+	for _, au := range r.Auctions {
+		a.s.Bids += len(au.Bids)
+	}
+	for _, p := range r.Partners {
+		a.partnerSet[p] = true
+	}
+	for _, p := range r.Winners {
+		a.partnerSet[p] = true
+	}
+}
+
+// Summary returns the roll-up over everything added so far.
+func (a *SummaryAccumulator) Summary() Summary {
+	s := a.s
+	s.DemandPartners = len(a.partnerSet)
+	s.CrawlDays = a.maxDay + 1
 	return s
+}
+
+// Summarize computes the Table 1 numbers from records — the batch
+// convenience over SummaryAccumulator.
+func Summarize(recs []*SiteRecord) Summary {
+	a := NewSummaryAccumulator()
+	for _, r := range recs {
+		a.Add(r)
+	}
+	return a.Summary()
 }
 
 // AdoptionRate returns the fraction of distinct sites with HB.

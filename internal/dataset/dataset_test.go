@@ -202,3 +202,72 @@ func TestLargeRecordRoundTrip(t *testing.T) {
 		t.Fatalf("large record: n=%d err=%v", len(back), err)
 	}
 }
+
+func TestSummaryAccumulatorMatchesBatch(t *testing.T) {
+	// A mixed multi-day dataset with repeats, shared partners and non-HB
+	// sites: the incremental path must agree field-for-field with the
+	// batch Summarize.
+	recs := []*SiteRecord{
+		{Domain: "a.example", VisitDay: 0, HB: true, Partners: []string{"criteo", "rubicon"},
+			Winners: []string{"criteo"}, Auctions: []AuctionRecord{{ID: "1", Bids: []BidRecord{{Bidder: "criteo"}, {Bidder: "rubicon"}}}}},
+		{Domain: "b.example", VisitDay: 0},
+		{Domain: "a.example", VisitDay: 1, HB: true, Partners: []string{"appnexus"},
+			Auctions: []AuctionRecord{{ID: "2", Bids: []BidRecord{{Bidder: "appnexus"}}}}},
+		{Domain: "c.example", VisitDay: 2, HB: true, Winners: []string{"dfp"}},
+	}
+	acc := NewSummaryAccumulator()
+	for _, r := range recs {
+		acc.Add(r)
+	}
+	if got, want := acc.Summary(), Summarize(recs); got != want {
+		t.Fatalf("accumulator = %+v, batch = %+v", got, want)
+	}
+	// Partial snapshots must be valid too (Summary() is not a finalizer).
+	acc2 := NewSummaryAccumulator()
+	acc2.Add(recs[0])
+	if s := acc2.Summary(); s.SitesCrawled != 1 || s.SitesWithHB != 1 || s.CrawlDays != 1 {
+		t.Fatalf("partial snapshot = %+v", s)
+	}
+	acc2.Add(recs[1])
+	acc2.Add(recs[2])
+	acc2.Add(recs[3])
+	if got, want := acc2.Summary(), Summarize(recs); got != want {
+		t.Fatalf("snapshot-then-continue diverged: %+v vs %+v", got, want)
+	}
+}
+
+func TestReadStreamMatchesRead(t *testing.T) {
+	recs := []*SiteRecord{
+		{Domain: "a.example", Loaded: true, HB: true, Facet: "client"},
+		{Domain: "b.example", Loaded: true},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	data := buf.Bytes()
+
+	var streamed []*SiteRecord
+	if err := ReadStream(bytes.NewReader(data), func(r *SiteRecord) error {
+		streamed = append(streamed, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("streamed %d, batch %d", len(streamed), len(batch))
+	}
+	for i := range batch {
+		if streamed[i].Domain != batch[i].Domain || streamed[i].HB != batch[i].HB {
+			t.Fatalf("record %d diverged", i)
+		}
+	}
+}

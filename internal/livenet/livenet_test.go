@@ -96,14 +96,31 @@ func TestFullVisitOverRealHTTP(t *testing.T) {
 		opts.PageTimeout = 30 * time.Second
 		b := browser.New(env, pagert.New(w.Registry), opts)
 
+		// Visit and attach on the env loop: response delivery runs there,
+		// so wiring the detector from another goroutine would race.
 		loaded := make(chan struct{})
-		page := b.Visit(site.PageURL(), func(p *browser.Page, vr *browser.VisitResult) {
-			if !vr.Loaded {
-				t.Errorf("%v: page failed: %+v", facet, vr)
-			}
-			close(loaded)
+		type wired struct {
+			page *browser.Page
+			det  *core.Detector
+		}
+		wiredCh := make(chan wired, 1)
+		env.Post(func() {
+			page := b.Visit(site.PageURL(), func(p *browser.Page, vr *browser.VisitResult) {
+				if !vr.Loaded {
+					t.Errorf("%v: page failed: %+v", facet, vr)
+				}
+				close(loaded)
+			})
+			wiredCh <- wired{page: page, det: core.Attach(page, w.Registry)}
 		})
-		det := core.Attach(page, w.Registry)
+		var page *browser.Page
+		var det *core.Detector
+		select {
+		case wd := <-wiredCh:
+			page, det = wd.page, wd.det
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%v: visit never started", facet)
+		}
 
 		select {
 		case <-loaded:

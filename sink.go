@@ -1,0 +1,153 @@
+package headerbid
+
+import (
+	"io"
+
+	"headerbid/internal/analysis"
+	"headerbid/internal/crawler"
+	"headerbid/internal/dataset"
+)
+
+// Visit is one completed site visit as delivered to sinks: the record
+// plus per-day progress context (Done/Total reset at each crawl-day
+// boundary, since later days' job counts depend on day-one detections).
+type Visit = crawler.Visit
+
+// A Sink consumes crawl visits as they stream out of a running
+// Experiment, in deterministic crawl order (by day, then rank). Consume
+// returning a non-nil error aborts the crawl. Close is called exactly
+// once when the run ends (normally, by cancellation, or by error) and
+// must flush any buffered state; a sink instance belongs to one run
+// unless its type documents otherwise.
+type Sink interface {
+	Consume(v Visit) error
+	Close() error
+}
+
+// SinkFunc adapts a plain function to a Sink with a no-op Close.
+type SinkFunc func(v Visit) error
+
+// Consume calls f.
+func (f SinkFunc) Consume(v Visit) error { return f(v) }
+
+// Close is a no-op.
+func (f SinkFunc) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Built-in sinks
+// ---------------------------------------------------------------------------
+
+// CollectSink retains every record — the bridge back to the batch world
+// for analyses that genuinely need the full slice (waterfall comparison,
+// figure-level reports).
+type CollectSink struct {
+	recs []*SiteRecord
+}
+
+// NewCollectSink returns an empty collector.
+func NewCollectSink() *CollectSink { return &CollectSink{} }
+
+// Consume retains the record.
+func (c *CollectSink) Consume(v Visit) error {
+	c.recs = append(c.recs, v.Record)
+	return nil
+}
+
+// Close is a no-op; CollectSink may be reused across runs (records keep
+// accumulating).
+func (c *CollectSink) Close() error { return nil }
+
+// Records returns everything collected so far.
+func (c *CollectSink) Records() []*SiteRecord { return c.recs }
+
+// JSONLSink streams records to a JSONL dataset as they complete, so a
+// 35k-site crawl writes its dataset with O(1) record memory.
+type JSONLSink struct {
+	w *dataset.Writer
+}
+
+// NewJSONLSink writes records to w (buffered; Close flushes).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: dataset.NewWriter(w)}
+}
+
+// NewJSONLFileSink creates/truncates path and streams records to it;
+// Close flushes and closes the file.
+func NewJSONLFileSink(path string) (*JSONLSink, error) {
+	w, err := dataset.NewFileWriter(path)
+	if err != nil {
+		return nil, err
+	}
+	return &JSONLSink{w: w}, nil
+}
+
+// Consume appends one JSON line.
+func (s *JSONLSink) Consume(v Visit) error { return s.w.Write(v.Record) }
+
+// Close flushes (and closes the file for file sinks).
+func (s *JSONLSink) Close() error { return s.w.Close() }
+
+// Count reports records written.
+func (s *JSONLSink) Count() int { return s.w.Count() }
+
+// SummarySink folds each record into an incremental Table-1 Summary;
+// state is O(distinct sites + partners), never O(records).
+type SummarySink struct {
+	acc *dataset.SummaryAccumulator
+}
+
+// NewSummarySink returns an empty summary accumulator sink.
+func NewSummarySink() *SummarySink {
+	return &SummarySink{acc: dataset.NewSummaryAccumulator()}
+}
+
+// Consume folds the record in.
+func (s *SummarySink) Consume(v Visit) error {
+	s.acc.Add(v.Record)
+	return nil
+}
+
+// Close is a no-op; Summary stays readable after the run.
+func (s *SummarySink) Close() error { return nil }
+
+// Summary returns the roll-up over everything consumed so far (valid
+// mid-run and after).
+func (s *SummarySink) Summary() Summary { return s.acc.Summary() }
+
+// LatencyStats is the Figure-12 latency CDF with the paper's markers.
+type LatencyStats = analysis.LatencyCDFResult
+
+// LatencySink aggregates total-HB-latency samples incrementally: one
+// float64 per HB site instead of the whole record slice.
+type LatencySink struct {
+	acc *analysis.LatencyAccumulator
+}
+
+// NewLatencySink returns an empty latency aggregation sink.
+func NewLatencySink() *LatencySink {
+	return &LatencySink{acc: analysis.NewLatencyAccumulator()}
+}
+
+// Consume folds the record's HB latency in (non-HB records are ignored).
+func (s *LatencySink) Consume(v Visit) error {
+	s.acc.Add(v.Record)
+	return nil
+}
+
+// Close is a no-op; Result stays readable after the run.
+func (s *LatencySink) Close() error { return nil }
+
+// Result computes the latency CDF over everything consumed so far.
+func (s *LatencySink) Result() LatencyStats { return s.acc.Result() }
+
+// NewProgressSink reports per-day crawl progress to fn as visits stream
+// out (fn receives visits-done and visits-scheduled for the current
+// crawl day, matching the semantics hbcrawl displays).
+func NewProgressSink(fn func(done, total int)) Sink {
+	return SinkFunc(func(v Visit) error {
+		if fn != nil {
+			fn(v.Done, v.Total)
+		}
+		return nil
+	})
+}
