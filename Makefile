@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-smoke bench-all profile
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# The crawl-throughput gate (PERF.md): sites/sec, ns/visit, allocs/visit.
+bench:
+	$(GO) test -run '^$$' -bench Crawl_EndToEnd -benchtime 5x -benchmem .
+
+# One-iteration smoke run, as executed in CI: fails loudly if the crawl
+# path breaks, finishes in seconds.
+bench-smoke:
+	$(GO) test -run '^$$' -bench Crawl_EndToEnd -benchtime 1x .
+
+# Every paper-figure benchmark.
+bench-all:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Regenerate the PERF.md profiles.
+profile:
+	$(GO) test -run '^$$' -bench Crawl_EndToEnd -benchtime 5x \
+		-cpuprofile cpu.pb.gz -memprofile mem.pb.gz -o bench.test .
+	$(GO) tool pprof -top -nodecount=10 bench.test cpu.pb.gz
+	$(GO) tool pprof -sample_index=alloc_objects -top -nodecount=10 bench.test mem.pb.gz

@@ -9,6 +9,7 @@ package headerbid
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -444,6 +445,39 @@ func BenchmarkTrafficOverhead(b *testing.B) {
 	b.ReportMetric(ts.HBRelated.Mean, "hbreq_mean")
 	b.ReportMetric(ts.AmplificationVsWaterfall, "amplification_x")
 	b.ReportMetric(passes, "wf_passes_mean")
+}
+
+// BenchmarkCrawl_EndToEnd is the crawl-throughput gate: a full
+// world-generation-excluded crawl of a fixed site population, reporting
+// sites/sec (wall-clock crawl throughput), ns/visit and allocs/visit.
+// CI runs it with -benchtime=1x as a smoke test; PERF.md records the
+// before/after profiles of the hot-path overhaul against it.
+func BenchmarkCrawl_EndToEnd(b *testing.B) {
+	const sites = 400
+	cfg := DefaultWorldConfig(7)
+	cfg.NumSites = sites
+	world := GenerateWorld(cfg)
+	opts := DefaultCrawlConfig(7)
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs := Crawl(world, opts)
+		if len(recs) != sites {
+			b.Fatalf("got %d records, want %d", len(recs), sites)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+
+	visits := float64(b.N) * sites
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(visits/secs, "sites/sec")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/visits, "ns/visit")
+	b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/visits, "allocs/visit")
 }
 
 // BenchmarkCrawlThroughput measures end-to-end crawl cost per site on the

@@ -181,6 +181,21 @@ type Detector struct {
 	requestCount    int
 	hbParamSeen     bool
 	traffic         TrafficCounts
+
+	// pageReg caches the page URL's registrable domain (pageRegURL is the
+	// URL it was computed for, so late-set page URLs still resolve).
+	pageRegURL string
+	pageReg    string
+}
+
+// pageRegistrable returns the registrable domain of the page's own URL,
+// parsed once per URL instead of per response.
+func (d *Detector) pageRegistrable() string {
+	if d.pageRegURL != d.page.URL {
+		d.pageRegURL = d.page.URL
+		d.pageReg = urlkit.RegistrableDomain(urlkit.Host(d.page.URL))
+	}
+	return d.pageReg
 }
 
 // slotSpec is one slot offered in a hosted-auction request.
@@ -348,7 +363,7 @@ func (d *Detector) onRequest(req *webreq.Request) {
 	// participating (the paper extracts partner counts from "the incoming
 	// web requests that trigger corresponding HB events"); cookie-sync
 	// pixels and generic tracking to the same domains do not.
-	if p, ok := d.registry.ByURL(req.URL); ok {
+	if p, ok := d.registry.ByDomain(req.RegistrableHost()); ok {
 		if isHBEndpoint(req.URL) {
 			d.partnerSeen[p.Slug] = true
 		}
@@ -381,7 +396,7 @@ func (d *Detector) onRequest(req *webreq.Request) {
 
 func (d *Detector) onResponse(req *webreq.Request, resp *webreq.Response) {
 	lat := resp.Received.Sub(req.Sent)
-	if p, ok := d.registry.ByURL(req.URL); ok {
+	if p, ok := d.registry.ByDomain(req.RegistrableHost()); ok {
 		switch {
 		case strings.Contains(req.URL, "/hb/v1/bid"):
 			if !resp.OK() {
@@ -410,7 +425,8 @@ func (d *Detector) onResponse(req *webreq.Request, resp *webreq.Response) {
 	// round and bounds its latency).
 	params := req.Params()
 	if _, hasSlots := params["slots"]; hasSlots && !d.adSrvIsPartner && resp.OK() {
-		firstParty := urlkit.SameRegistrableDomain(req.Host(), urlkit.Host(d.page.URL))
+		pageReg := d.pageRegistrable()
+		firstParty := pageReg != "" && req.RegistrableHost() == pageReg
 		hasHBKey := false
 		for k := range params {
 			if hb.IsTargetingKey(stripSlotSuffix(k)) {
@@ -546,7 +562,7 @@ func sscanFloat(s string, out *float64) (int, error) {
 func (d *Detector) Observation() *Observation {
 	o := &Observation{
 		URL:                d.page.URL,
-		Domain:             urlkit.RegistrableDomain(urlkit.Host(d.page.URL)),
+		Domain:             d.pageRegistrable(),
 		PartnerLatency:     d.partnerLats,
 		PartnerLateLatency: d.partnerLateLats,
 		EventCount:         d.eventCount,

@@ -100,15 +100,17 @@ func (c *ServerSideClient) Run(done func(*ServerSideResult)) {
 		specs = append(specs, s.Code+"|"+s.Size.String())
 	}
 	endpoint := fmt.Sprintf("https://hb.%s/ssp/auction", provider.Host)
+	hostedParams := map[string]string{
+		"site":  c.cfg.Site,
+		"slots": strings.Join(specs, ","),
+	}
 	req := &webreq.Request{
-		URL: urlkit.WithParams(endpoint, map[string]string{
-			"site":  c.cfg.Site,
-			"slots": strings.Join(specs, ","),
-		}),
+		URL:    urlkit.WithParams(endpoint, hostedParams),
 		Method: webreq.POST,
 		Kind:   webreq.KindXHR,
 		Sent:   now,
 	}
+	req.PrefillParams(hostedParams)
 	c.env.Fetch(req, func(resp *webreq.Response) {
 		c.onResponse(res, resp, done)
 	})

@@ -78,7 +78,7 @@ func TestFullVisitOverRealHTTP(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live integration test")
 	}
-	w, _, env := liveWorld(t, 120)
+	w, _, env := liveWorld(t, 240)
 
 	for _, facet := range []hb.Facet{hb.FacetClient, hb.FacetServer, hb.FacetHybrid} {
 		var site *sitegen.Site

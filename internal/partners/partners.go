@@ -112,11 +112,26 @@ func (p *Profile) SampleCPM(r *rng.Stream) float64 {
 }
 
 // Registry is an immutable set of partner profiles with fast lookup by
-// slug and by registrable endpoint domain.
+// slug and by registrable endpoint domain. Every derived view (All,
+// Slugs, Bidders, ServerSideProviders, Domains, PopularityRank) is
+// computed once at construction and returned shared: the crawler asks for
+// these views on every visit, so rebuilding and re-sorting them per call
+// was a measurable slice of crawl allocations.
 type Registry struct {
 	profiles []Profile
 	bySlug   map[string]*Profile
 	byDomain map[string]*Profile
+
+	// Views derived at construction. The slices are built with exact
+	// capacity, so a caller appending to a returned view always
+	// reallocates instead of scribbling over the shared backing array;
+	// the contents themselves are shared and must not be modified.
+	all        []*Profile
+	slugs      []string
+	bidders    []*Profile
+	serverSide []*Profile
+	domains    map[string]bool
+	rankBySlug map[string]int
 }
 
 // NewRegistry builds a registry from profiles. Duplicate slugs panic: the
@@ -136,6 +151,41 @@ func NewRegistry(profiles []Profile) *Registry {
 		r.bySlug[p.Slug] = p
 		r.byDomain[urlkit.RegistrableDomain(p.Host)] = p
 	}
+
+	// Popularity order underpins every other view.
+	r.all = make([]*Profile, 0, len(r.profiles))
+	for i := range r.profiles {
+		r.all = append(r.all, &r.profiles[i])
+	}
+	sort.SliceStable(r.all, func(a, b int) bool { return r.all[a].Weight > r.all[b].Weight })
+
+	r.slugs = make([]string, len(r.all))
+	r.rankBySlug = make(map[string]int, len(r.all))
+	var nBidders, nServer int
+	for i, p := range r.all {
+		r.slugs[i] = p.Slug
+		r.rankBySlug[p.Slug] = i + 1
+		if p.HasRole(RoleBidder) {
+			nBidders++
+		}
+		if p.HasRole(RoleServerSide) {
+			nServer++
+		}
+	}
+	r.bidders = make([]*Profile, 0, nBidders)
+	r.serverSide = make([]*Profile, 0, nServer)
+	for _, p := range r.all {
+		if p.HasRole(RoleBidder) {
+			r.bidders = append(r.bidders, p)
+		}
+		if p.HasRole(RoleServerSide) {
+			r.serverSide = append(r.serverSide, p)
+		}
+	}
+	r.domains = make(map[string]bool, len(r.byDomain))
+	for d := range r.byDomain {
+		r.domains[d] = true
+	}
 	return r
 }
 
@@ -146,25 +196,13 @@ func Default() *Registry { return NewRegistry(defaultProfiles()) }
 func (r *Registry) Len() int { return len(r.profiles) }
 
 // All returns the profiles ordered by descending Weight (popularity rank
-// order, as used when the paper bins partners by popularity).
-func (r *Registry) All() []*Profile {
-	out := make([]*Profile, len(r.profiles))
-	for i := range r.profiles {
-		out[i] = &r.profiles[i]
-	}
-	sort.SliceStable(out, func(a, b int) bool { return out[a].Weight > out[b].Weight })
-	return out
-}
+// order, as used when the paper bins partners by popularity). The slice
+// is shared and computed at construction; callers must not modify it.
+func (r *Registry) All() []*Profile { return r.all }
 
-// Slugs returns all slugs in popularity order.
-func (r *Registry) Slugs() []string {
-	all := r.All()
-	out := make([]string, len(all))
-	for i, p := range all {
-		out[i] = p.Slug
-	}
-	return out
-}
+// Slugs returns all slugs in popularity order. The slice is shared;
+// callers must not modify it.
+func (r *Registry) Slugs() []string { return r.slugs }
 
 // BySlug looks a partner up by bidder code.
 func (r *Registry) BySlug(slug string) (*Profile, bool) {
@@ -179,50 +217,34 @@ func (r *Registry) ByURL(raw string) (*Profile, bool) {
 	if host == "" {
 		return nil, false
 	}
-	p, ok := r.byDomain[urlkit.RegistrableDomain(host)]
+	return r.ByDomain(urlkit.RegistrableDomain(host))
+}
+
+// ByDomain looks a partner up by registrable endpoint domain — the
+// pre-parsed key webreq.Request.RegistrableHost returns, letting hot
+// paths skip the URL re-parse ByURL would do.
+func (r *Registry) ByDomain(domain string) (*Profile, bool) {
+	p, ok := r.byDomain[domain]
 	return p, ok
 }
 
 // Domains returns the registrable-domain set of all partner endpoints —
-// the "HB list" the WebRequest inspector applies (Figure 3).
-func (r *Registry) Domains() map[string]bool {
-	out := make(map[string]bool, len(r.byDomain))
-	for d := range r.byDomain {
-		out[d] = true
-	}
-	return out
-}
+// the "HB list" the WebRequest inspector applies (Figure 3). The map is
+// shared and computed at construction (every per-visit detector holds
+// this set); callers must treat it as read-only.
+func (r *Registry) Domains() map[string]bool { return r.domains }
 
 // Bidders returns the partners that can answer client-side bid requests,
-// in popularity order.
-func (r *Registry) Bidders() []*Profile {
-	var out []*Profile
-	for _, p := range r.All() {
-		if p.HasRole(RoleBidder) {
-			out = append(out, p)
-		}
-	}
-	return out
-}
+// in popularity order. The slice is shared; callers must not modify it.
+func (r *Registry) Bidders() []*Profile { return r.bidders }
 
-// ServerSideProviders returns partners offering hosted HB.
-func (r *Registry) ServerSideProviders() []*Profile {
-	var out []*Profile
-	for _, p := range r.All() {
-		if p.HasRole(RoleServerSide) {
-			out = append(out, p)
-		}
-	}
-	return out
-}
+// ServerSideProviders returns partners offering hosted HB. The slice is
+// shared; callers must not modify it.
+func (r *Registry) ServerSideProviders() []*Profile { return r.serverSide }
 
 // PopularityRank returns the 1-based popularity rank of a slug (1 = most
 // popular) and false if unknown.
 func (r *Registry) PopularityRank(slug string) (int, bool) {
-	for i, p := range r.All() {
-		if p.Slug == slug {
-			return i + 1, true
-		}
-	}
-	return 0, false
+	rank, ok := r.rankBySlug[slug]
+	return rank, ok
 }

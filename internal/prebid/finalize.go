@@ -112,6 +112,11 @@ func (r *roundState) callAdServer() {
 		Kind:   webreq.KindXHR,
 		Sent:   now,
 	}
+	if !strings.Contains(w.cfg.AdServerURL, "?") {
+		// The query is exactly the map we just encoded: hand it to the
+		// request so no hop (network, ad server, detector) re-parses it.
+		req.PrefillParams(params)
+	}
 	w.env.Fetch(req, func(resp *webreq.Response) {
 		r.onAdServerResponse(resp)
 	})

@@ -298,13 +298,15 @@ func (w *Wrapper) sendBidRequest(round *roundState, bidder string, timeout time.
 		})
 	}
 
+	bidParams := map[string]string{hb.KeyBidderFull: bidder}
 	httpReq := &webreq.Request{
-		URL:    urlkit.WithParams(profile.BidEndpoint(), map[string]string{hb.KeyBidderFull: bidder}),
+		URL:    urlkit.WithParams(profile.BidEndpoint(), bidParams),
 		Method: webreq.POST,
 		Kind:   webreq.KindXHR,
 		Body:   string(body),
 		Sent:   now,
 	}
+	httpReq.PrefillParams(bidParams)
 	br := BidderResult{Bidder: bidder, Requested: now}
 	round.result.Bidders = append(round.result.Bidders, br)
 	idx := len(round.result.Bidders) - 1

@@ -11,6 +11,7 @@ package pubfood
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
 
 	"headerbid/internal/events"
@@ -200,13 +201,15 @@ func (l *Library) sendBid(prof *partners.Profile, bySlot map[string]*SlotResult,
 		onDone()
 		return
 	}
+	bidParams := map[string]string{hb.KeyBidderFull: prof.Slug}
 	req := &webreq.Request{
-		URL:    urlkit.WithParams(prof.BidEndpoint(), map[string]string{hb.KeyBidderFull: prof.Slug}),
+		URL:    urlkit.WithParams(prof.BidEndpoint(), bidParams),
 		Method: webreq.POST,
 		Kind:   webreq.KindXHR,
 		Body:   string(body),
 		Sent:   now,
 	}
+	req.PrefillParams(bidParams)
 	sent := now
 	l.env.Fetch(req, func(resp *webreq.Response) {
 		*pending--
@@ -274,6 +277,9 @@ func (l *Library) callAdServer(res *Result, bySlot map[string]*SlotResult,
 		Method: webreq.GET,
 		Kind:   webreq.KindXHR,
 		Sent:   now,
+	}
+	if !strings.Contains(l.cfg.AdServerURL, "?") {
+		req.PrefillParams(params)
 	}
 	l.env.Fetch(req, func(resp *webreq.Response) {
 		res.AdServerResponded = l.env.Now()

@@ -3,53 +3,156 @@
 // lognormal latencies, Zipf-like popularity, categorical mixes and bounded
 // Pareto tails. All sampling is deterministic given a seed, which makes
 // crawls and benchmarks reproducible bit-for-bit.
+//
+// The generator core is xoshiro256** seeded through splitmix64: seeding a
+// stream costs four integer mixes (vs the 607-word table fill of
+// math/rand's lagged-Fibonacci source), so the crawler can derive a fresh
+// stream per (site, day) visit without seeding ever appearing in a
+// profile. Streams are derived by name ("site/<domain>", "eco/bid/<slug>",
+// ...) from a stable 64-bit key, never by consuming parent state, so a
+// child stream is identical no matter how many sibling streams were
+// derived before it or how many draws the parent has made (DESIGN.md §5).
 package rng
 
 import (
-	"hash/fnv"
 	"math"
-	"math/rand"
+	"math/bits"
 )
 
-// Stream is a deterministic random stream. It wraps math/rand with
-// convenience samplers. A Stream is not safe for concurrent use; derive
-// per-goroutine child streams with Split.
+// Stream is a deterministic random stream with convenience samplers.
+// A Stream is not safe for concurrent use; derive per-goroutine child
+// streams with Derive or SplitStable.
 type Stream struct {
-	r *rand.Rand
+	s0, s1, s2, s3 uint64 // xoshiro256** state
+
+	// key is the stable derivation identity of this stream: children are
+	// derived from (key, name), independent of draws taken from s0..s3.
+	key uint64
+
+	// spare caches the second normal deviate of a Box-Muller polar pair.
+	spare    float64
+	hasSpare bool
 }
 
 // New returns a stream seeded with seed.
 func New(seed int64) *Stream {
-	return &Stream{r: rand.New(rand.NewSource(seed))}
+	s := &Stream{}
+	s.reseed(uint64(seed))
+	return s
 }
 
-// Split derives an independent child stream identified by name. Two
-// parents with the same seed and the same name derive identical children,
-// so per-site streams are stable regardless of crawl order.
-func (s *Stream) Split(name string) *Stream {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(name))
-	mix := int64(h.Sum64())
-	return New(mix ^ s.r.Int63())
+// reseed (re)initializes the generator state from a 64-bit key by running
+// splitmix64 four times — the canonical way to seed xoshiro, and the few
+// integer mixes that replaced math/rand's 607-iteration table build.
+func (s *Stream) reseed(key uint64) {
+	s.key = key
+	x := key
+	s.s0 = splitmix64(&x)
+	s.s1 = splitmix64(&x)
+	s.s2 = splitmix64(&x)
+	s.s3 = splitmix64(&x)
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		// xoshiro must not start from the all-zero state; splitmix64 makes
+		// this astronomically unlikely but the guard keeps it impossible.
+		s.s3 = 0x9e3779b97f4a7c15
+	}
+	s.hasSpare = false
 }
+
+// splitmix64 is the SplitMix64 step function (Steele, Lea, Flood 2014).
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	return mix64(*x)
+}
+
+// mix64 is the splitmix64 finalizer. Derivation keys pass through it so
+// the (key, name) → child-key map is non-linear: a plain XOR fold would
+// make Derive(n).Derive(n) reproduce the parent and make sibling path
+// segments commute — aliased "independent" streams.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashName is FNV-1a over name without allocating.
+func hashName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Derive returns the independent child stream identified by name. The
+// derivation uses only the parent's stable key — never its generator
+// state — so the child is identical regardless of how many draws the
+// parent has made or how many siblings were derived first.
+func (s *Stream) Derive(name string) *Stream {
+	c := &Stream{}
+	c.reseed(mix64(s.key ^ hashName(name)))
+	return c
+}
+
+// Split derives an independent child stream identified by name.
+//
+// Deprecated: Split historically consumed parent state (one Int63 per
+// call), which made children dependent on derivation order. It is now an
+// alias for Derive, which is order-independent; new code should call
+// Derive (or SplitStable when only a base seed is at hand).
+func (s *Stream) Split(name string) *Stream { return s.Derive(name) }
 
 // SplitStable derives a child stream from a base seed and a name without
-// consuming state from the parent. Use it when the set of children is
+// consuming state from any parent. Use it when the set of children is
 // dynamic but each child must be independent of enumeration order.
 func SplitStable(seed int64, name string) *Stream {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(name))
-	return New(seed ^ int64(h.Sum64()))
+	s := &Stream{}
+	s.reseed(mix64(uint64(seed) ^ hashName(name)))
+	return s
+}
+
+// Uint64 returns the next 64 uniform bits (xoshiro256**).
+func (s *Stream) Uint64() uint64 {
+	out := bits.RotateLeft64(s.s1*5, 7) * 9
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = bits.RotateLeft64(s.s3, 45)
+	return out
 }
 
 // Float64 returns a uniform sample in [0,1).
-func (s *Stream) Float64() float64 { return s.r.Float64() }
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) * 0x1p-53
+}
+
+// uint64n returns a uniform sample in [0,n) without modulo bias
+// (Lemire's multiply-shift rejection method).
+func (s *Stream) uint64n(n uint64) uint64 {
+	hi, lo := bits.Mul64(s.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.Uint64(), n)
+		}
+	}
+	return hi
+}
 
 // Intn returns a uniform sample in [0,n). It panics if n <= 0.
-func (s *Stream) Intn(n int) int { return s.r.Intn(n) }
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.uint64n(uint64(n)))
+}
 
 // Int63 returns a non-negative uniform 63-bit integer.
-func (s *Stream) Int63() int64 { return s.r.Int63() }
+func (s *Stream) Int63() int64 { return int64(s.Uint64() >> 1) }
 
 // Bool returns true with probability p (clamped to [0,1]).
 func (s *Stream) Bool(p float64) bool {
@@ -59,7 +162,7 @@ func (s *Stream) Bool(p float64) bool {
 	if p >= 1 {
 		return true
 	}
-	return s.r.Float64() < p
+	return s.Float64() < p
 }
 
 // Uniform returns a uniform sample in [lo, hi).
@@ -67,7 +170,7 @@ func (s *Stream) Uniform(lo, hi float64) float64 {
 	if hi < lo {
 		lo, hi = hi, lo
 	}
-	return lo + (hi-lo)*s.r.Float64()
+	return lo + (hi-lo)*s.Float64()
 }
 
 // UniformInt returns a uniform integer in [lo, hi] inclusive.
@@ -75,27 +178,49 @@ func (s *Stream) UniformInt(lo, hi int) int {
 	if hi < lo {
 		lo, hi = hi, lo
 	}
-	return lo + s.r.Intn(hi-lo+1)
+	return lo + s.Intn(hi-lo+1)
+}
+
+// NormFloat64 returns a standard normal sample (Marsaglia polar method;
+// the rejected-pair spare is cached so draws cost one pair on average).
+func (s *Stream) NormFloat64() float64 {
+	if s.hasSpare {
+		s.hasSpare = false
+		return s.spare
+	}
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(q) / q)
+		s.spare = v * f
+		s.hasSpare = true
+		return u * f
+	}
 }
 
 // Normal returns a normal sample with the given mean and stddev.
 func (s *Stream) Normal(mean, stddev float64) float64 {
-	return mean + stddev*s.r.NormFloat64()
+	return mean + stddev*s.NormFloat64()
 }
 
 // LogNormal returns a lognormal sample: exp(N(mu, sigma)). Latencies of
 // demand partners are modelled lognormally, matching the long-tailed
 // response times the paper reports (medians 41ms-1290ms with heavy tails).
 func (s *Stream) LogNormal(mu, sigma float64) float64 {
-	return math.Exp(mu + sigma*s.r.NormFloat64())
+	return math.Exp(mu + sigma*s.NormFloat64())
 }
 
-// Exponential returns an exponential sample with the given mean.
+// Exponential returns an exponential sample with the given mean
+// (inversion: -mean * ln(1-U), with 1-U in (0,1]).
 func (s *Stream) Exponential(mean float64) float64 {
 	if mean <= 0 {
 		return 0
 	}
-	return s.r.ExpFloat64() * mean
+	return -mean * math.Log(1-s.Float64())
 }
 
 // Pareto returns a bounded Pareto sample with shape alpha on [lo, hi].
@@ -103,17 +228,29 @@ func (s *Stream) Pareto(alpha, lo, hi float64) float64 {
 	if lo <= 0 || hi <= lo || alpha <= 0 {
 		return lo
 	}
-	u := s.r.Float64()
+	u := s.Float64()
 	la := math.Pow(lo, alpha)
 	ha := math.Pow(hi, alpha)
 	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
 }
 
 // Perm returns a random permutation of [0,n).
-func (s *Stream) Perm(n int) []int { return s.r.Perm(n) }
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
 
-// Shuffle shuffles n elements using swap.
-func (s *Stream) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+// Shuffle shuffles n elements using swap (Fisher-Yates).
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, s.Intn(i+1))
+	}
+}
 
 // Categorical samples an index proportionally to weights. Zero or negative
 // weights are treated as zero. If all weights are zero it returns 0.
@@ -127,7 +264,7 @@ func (s *Stream) Categorical(weights []float64) int {
 	if total <= 0 {
 		return 0
 	}
-	x := s.r.Float64() * total
+	x := s.Float64() * total
 	for i, w := range weights {
 		if w <= 0 {
 			continue
@@ -171,7 +308,7 @@ func (s *Stream) WeightedSampleWithoutReplacement(weights []float64, k int) []in
 		if w <= 0 {
 			continue
 		}
-		u := s.r.Float64()
+		u := s.Float64()
 		keys = append(keys, kw{i, math.Pow(u, 1/w)})
 	}
 	// Partial selection sort for top-k (n is small, <= a few hundred).

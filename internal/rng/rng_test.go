@@ -253,3 +253,125 @@ func TestPermIsPermutation(t *testing.T) {
 		seen[v] = true
 	}
 }
+
+func TestDeriveIndependentOfParentDrawsAndSiblings(t *testing.T) {
+	// The whole point of stable derivation: a child stream is a function
+	// of (parent key, name) only.
+	want := New(42).Derive("child").Float64()
+
+	p := New(42)
+	for i := 0; i < 100; i++ {
+		p.Float64() // drain the parent
+	}
+	_ = p.Derive("sibling") // derive another child first
+	if got := p.Derive("child").Float64(); got != want {
+		t.Fatal("Derive depends on parent draws or sibling order")
+	}
+}
+
+func TestSplitIsStableAliasOfDerive(t *testing.T) {
+	// The deprecated Split must no longer consume parent state: two
+	// parents that split the same names in different orders agree.
+	p1, p2 := New(7), New(7)
+	a1 := p1.Split("a").Float64()
+	_ = p1.Split("b")
+	_ = p2.Split("b")
+	a2 := p2.Split("a").Float64()
+	if a1 != a2 {
+		t.Fatal("Split children depend on derivation order")
+	}
+	if d := New(7).Derive("a").Float64(); d != a1 {
+		t.Fatal("Split and Derive disagree")
+	}
+}
+
+func TestDeriveMatchesSplitStable(t *testing.T) {
+	// New(seed).Derive(name) and SplitStable(seed, name) are the same
+	// derivation, so code with only a seed and code holding a stream
+	// derive identical children.
+	if New(9).Derive("n").Float64() != SplitStable(9, "n").Float64() {
+		t.Fatal("Derive(seed stream) != SplitStable(seed)")
+	}
+}
+
+func TestDeriveChainsAreStable(t *testing.T) {
+	a := New(5).Derive("x").Derive("y").Float64()
+	b := SplitStable(5, "x").Derive("y").Float64()
+	if a != b {
+		t.Fatal("second-level derivation not stable")
+	}
+}
+
+var alloCSink float64
+
+func TestSeedingIsCheap(t *testing.T) {
+	// Seeding must be a few integer mixes: at most the one Stream struct
+	// per derivation, never math/rand's 607-word table.
+	allocs := testing.AllocsPerRun(1000, func() {
+		alloCSink += SplitStable(5, "alloc/test").Float64()
+	})
+	if allocs > 1 {
+		t.Fatalf("SplitStable allocates %v objects per call, want <= 1", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		alloCSink += New(5).Derive("alloc/test").Float64()
+	})
+	if allocs > 2 {
+		t.Fatalf("New+Derive allocates %v objects per call, want <= 2", allocs)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(13)
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Normal(10, 3)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("normal mean = %.3f, want ≈10", mean)
+	}
+	if math.Abs(std-3) > 0.05 {
+		t.Fatalf("normal std = %.3f, want ≈3", std)
+	}
+}
+
+func TestIntnUnbiased(t *testing.T) {
+	r := New(14)
+	const n = 60000
+	counts := make([]int, 3)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(3)]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)/n-1.0/3) > 0.01 {
+			t.Fatalf("Intn(3) bucket %d frequency %.4f", i, float64(c)/n)
+		}
+	}
+}
+
+func BenchmarkSplitStable(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		alloCSink += SplitStable(int64(i), "bench/stream").Float64()
+	}
+}
+
+func TestDerivePathsDoNotAlias(t *testing.T) {
+	// The derivation map must be non-linear: repeating a name must not
+	// reproduce the ancestor, and path segments must not commute.
+	parent := New(42)
+	back := parent.Derive("x").Derive("x")
+	if back.Float64() == New(42).Float64() {
+		t.Fatal("Derive(x).Derive(x) reproduced the parent stream")
+	}
+	ab := New(42).Derive("a").Derive("b").Float64()
+	ba := New(42).Derive("b").Derive("a").Float64()
+	if ab == ba {
+		t.Fatal("sibling path segments commute")
+	}
+}

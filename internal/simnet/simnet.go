@@ -31,17 +31,30 @@ type FaultMode struct {
 	ExtraLatency time.Duration
 }
 
+// Resolver lazily supplies handlers for hosts that were not explicitly
+// registered with Handle. The network consults it on the first request to
+// an unknown host and memoizes the result, so a world with thousands of
+// potential hosts only materializes handlers for the handful a visit
+// actually contacts (see sitegen.InstallSimnetFor).
+type Resolver interface {
+	// Resolve maps a registrable-domain key to a handler; ok=false means
+	// the host does not exist (dead DNS).
+	Resolve(domainKey string) (h Handler, ok bool)
+}
+
 // Network is a simulated internet: virtual hosts + latency model, driven
 // by a shared scheduler.
 type Network struct {
 	Sched *clock.Scheduler
 
-	hosts   map[string]Handler
-	faults  map[string]FaultMode
-	rng     *rng.Stream
-	seed    int64
-	baseRTT time.Duration
-	jitter  time.Duration
+	hosts    map[string]Handler
+	resolver Resolver
+	resolved map[string]Handler // memoized resolver hits; flushed by SetResolver
+	faults   map[string]FaultMode
+	rng      *rng.Stream
+	seed     int64
+	baseRTT  time.Duration
+	jitter   time.Duration
 
 	// Requests counts every Fetch, for traffic accounting.
 	Requests int
@@ -79,6 +92,38 @@ func (n *Network) Handle(host string, h Handler) {
 // HandleFunc is Handle with an inline function (symmetry with net/http).
 func (n *Network) HandleFunc(host string, h func(req *webreq.Request) (int, string, time.Duration)) {
 	n.Handle(host, h)
+}
+
+// SetResolver installs (or clears, with nil) the lazy host resolver.
+// Explicit Handle registrations take precedence. Handlers memoized from
+// a previous resolver are flushed, so re-installing a world (a new
+// resolver bound to a new per-visit ecosystem) never serves handlers
+// captured for the old one.
+func (n *Network) SetResolver(r Resolver) {
+	n.resolver = r
+	n.resolved = nil
+}
+
+// lookup finds the handler for a registrable-domain key: the explicit
+// host table first, then the memoized resolver results, then the
+// resolver itself.
+func (n *Network) lookup(key string) (Handler, bool) {
+	if h, ok := n.hosts[key]; ok {
+		return h, true
+	}
+	if h, ok := n.resolved[key]; ok {
+		return h, true
+	}
+	if n.resolver != nil {
+		if h, ok := n.resolver.Resolve(key); ok {
+			if n.resolved == nil {
+				n.resolved = make(map[string]Handler, 16)
+			}
+			n.resolved[key] = h
+			return h, true
+		}
+	}
+	return nil, false
 }
 
 // Fault installs a fault mode for a host.
@@ -123,9 +168,9 @@ func (e *Env) Post(fn func()) { e.net.Sched.Post(fn) }
 func (e *Env) Fetch(req *webreq.Request, cb func(*webreq.Response)) {
 	n := e.net
 	n.Requests++
-	host := urlkit.Host(req.URL)
-	key := urlkit.RegistrableDomain(host)
-	handler, ok := n.hosts[key]
+	host := req.Host()
+	key := req.RegistrableHost()
+	handler, ok := n.lookup(key)
 
 	rtt := n.baseRTT
 	if n.jitter > 0 {

@@ -15,6 +15,7 @@ package sitegen
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"headerbid/internal/hb"
 	"headerbid/internal/partners"
@@ -91,6 +92,10 @@ type Site struct {
 	// ServerPartner is the hosted provider for FacetServer sites.
 	ServerPartner string
 
+	// pageURL caches the canonical page URL (the crawler and the
+	// detector ask for it on every visit).
+	pageURL string
+
 	AdUnits []prebid.AdUnit
 	// Library names the client-side wrapper: "prebid" (the ~64% majority
 	// per the paper) or "pubfood"; server-facet sites use neither.
@@ -110,7 +115,13 @@ type Site struct {
 }
 
 // PageURL returns the canonical page URL the crawler visits.
-func (s *Site) PageURL() string { return "https://www." + s.Domain + "/" }
+func (s *Site) PageURL() string {
+	if s.pageURL == "" {
+		// Zero-value Sites (hand-built in tests) compute on demand.
+		return "https://www." + s.Domain + "/"
+	}
+	return s.pageURL
+}
 
 // AdServerURL returns the ad-server endpoint the wrapper targets.
 func (s *Site) AdServerURL() string {
@@ -129,6 +140,11 @@ type World struct {
 	Registry *partners.Registry
 
 	byDomain map[string]*Site
+
+	// shared is the precomputed host→handler dispatch every visit binds
+	// its ecosystem to (see sharedHandlers in handlers.go).
+	sharedOnce sync.Once
+	shared     map[string]sharedHandler
 }
 
 // Generate builds a world deterministically from cfg.
@@ -175,6 +191,7 @@ func generateSite(cfg Config, reg *partners.Registry, rank int) *Site {
 	s := &Site{
 		Rank:           rank,
 		Domain:         domain,
+		pageURL:        "https://www." + domain + "/",
 		InfraQuality:   infraQuality(r, rank, cfg.NumSites),
 		RenderFailProb: cfg.RenderFailProb,
 	}

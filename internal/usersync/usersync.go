@@ -103,14 +103,14 @@ func (s *Syncer) Run(done func(*Result)) {
 func (s *Syncer) firePixel(p *partners.Profile, depth int, pending *int, res *Result, finish func()) {
 	res.PixelsFired++
 	uid := fmt.Sprintf("sim-%08x", s.rng.Int63()&0xffffffff)
+	pixelParams := map[string]string{"uid": uid, "site": s.cfg.Site}
 	req := &webreq.Request{
-		URL: urlkit.WithParams(p.SyncEndpoint(), map[string]string{
-			"uid": uid, "site": s.cfg.Site,
-		}),
+		URL:    urlkit.WithParams(p.SyncEndpoint(), pixelParams),
 		Method: webreq.GET,
 		Kind:   webreq.KindBeacon,
 		Sent:   s.env.Now(),
 	}
+	req.PrefillParams(pixelParams)
 	s.env.Fetch(req, func(*webreq.Response) {
 		if depth < s.cfg.MaxChain && s.rng.Bool(s.cfg.ChainProb) {
 			if next := s.randomOtherPartner(p.Slug); next != nil {

@@ -6,7 +6,6 @@ package webreq
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
@@ -45,13 +44,57 @@ type Request struct {
 	Header  map[string]string
 	Sent    time.Time
 	Referer string
+
+	// Parse cache: a simulated request's URL is split exactly once and
+	// the pieces are reused by every hop (network host lookup, server
+	// handlers, detector hooks, host matching) instead of re-parsed.
+	// Builders that assembled the URL from parts can prefill the query
+	// view with PrefillParams. Requests are confined to one page event
+	// loop, so the lazy fill needs no locking.
+	hostDone    bool
+	host        string
+	registrable string
+	paramsDone  bool
+	params      map[string]string
 }
 
-// Host returns the lower-case request host.
-func (r *Request) Host() string { return urlkit.Host(r.URL) }
+func (r *Request) ensureHost() {
+	if !r.hostDone {
+		r.hostDone = true
+		r.host = urlkit.Host(r.URL)
+		r.registrable = urlkit.RegistrableDomain(r.host)
+	}
+}
 
-// Params returns the request's query parameters.
-func (r *Request) Params() map[string]string { return urlkit.QueryParams(r.URL) }
+// Host returns the lower-case request host, parsed once and cached.
+func (r *Request) Host() string { r.ensureHost(); return r.host }
+
+// RegistrableHost returns the registrable domain (eTLD+1) of the request
+// host, computed once and cached — the key both the simulated network's
+// host table and the detector's partner matching use.
+func (r *Request) RegistrableHost() string { r.ensureHost(); return r.registrable }
+
+// Params returns the request's query parameters, parsed once and cached.
+// The returned map is shared with every other caller (and possibly with
+// the builder that prefilled it): treat it as read-only.
+func (r *Request) Params() map[string]string {
+	if !r.paramsDone {
+		r.paramsDone = true
+		r.params = urlkit.QueryParams(r.URL)
+	}
+	return r.params
+}
+
+// PrefillParams seeds the query-parameter cache with the map the URL was
+// just built from (urlkit.WithParams), so the server side never re-parses
+// what the client side encoded. The map is retained and shared; neither
+// the builder nor any reader may modify it afterwards. Only valid when
+// params matches the URL's full query (base URL carried no query of its
+// own).
+func (r *Request) PrefillParams(params map[string]string) {
+	r.paramsDone = true
+	r.params = params
+}
 
 // Response is the matching response delivered to the page.
 type Response struct {
@@ -107,38 +150,68 @@ type (
 // Inspector is the webRequest hook registry for one page. It records
 // every exchange and fans out to registered hooks in registration order.
 // The zero value is ready to use.
+//
+// Hooks are kept in append-ordered slices (registration order is the
+// fan-out order), so notifying them is a plain iteration — the previous
+// map-plus-sort registry allocated a sorted ID slice on every request of
+// every visit.
 type Inspector struct {
 	nextID    int64
-	reqHooks  map[int]RequestHook
-	respHooks map[int]ResponseHook
+	reqHooks  []registeredReqHook
+	respHooks []registeredRespHook
 	hookSeq   int
 	exchanges map[int64]*Exchange
 	order     []int64
 }
 
+type registeredReqHook struct {
+	id int
+	fn RequestHook
+}
+
+type registeredRespHook struct {
+	id int
+	fn ResponseHook
+}
+
 // NewInspector returns an empty inspector.
 func NewInspector() *Inspector {
 	return &Inspector{
-		reqHooks:  make(map[int]RequestHook),
-		respHooks: make(map[int]ResponseHook),
 		exchanges: make(map[int64]*Exchange),
 	}
 }
 
-// OnRequest registers a request hook and returns a cancel func.
+// OnRequest registers a request hook and returns a cancel func. Cancel
+// nils the entry rather than splicing, so cancelling from inside a hook
+// during dispatch cannot skip or re-run sibling hooks.
 func (in *Inspector) OnRequest(h RequestHook) (cancel func()) {
 	id := in.hookSeq
 	in.hookSeq++
-	in.reqHooks[id] = h
-	return func() { delete(in.reqHooks, id) }
+	in.reqHooks = append(in.reqHooks, registeredReqHook{id: id, fn: h})
+	return func() {
+		for i := range in.reqHooks {
+			if in.reqHooks[i].id == id {
+				in.reqHooks[i].fn = nil
+				return
+			}
+		}
+	}
 }
 
-// OnResponse registers a response hook and returns a cancel func.
+// OnResponse registers a response hook and returns a cancel func (same
+// cancellation semantics as OnRequest).
 func (in *Inspector) OnResponse(h ResponseHook) (cancel func()) {
 	id := in.hookSeq
 	in.hookSeq++
-	in.respHooks[id] = h
-	return func() { delete(in.respHooks, id) }
+	in.respHooks = append(in.respHooks, registeredRespHook{id: id, fn: h})
+	return func() {
+		for i := range in.respHooks {
+			if in.respHooks[i].id == id {
+				in.respHooks[i].fn = nil
+				return
+			}
+		}
+	}
 }
 
 // NextID allocates a request ID. The browser calls this when creating
@@ -155,8 +228,10 @@ func (in *Inspector) SawRequest(req *Request) {
 	}
 	in.exchanges[req.ID] = &Exchange{Request: req}
 	in.order = append(in.order, req.ID)
-	for _, id := range sortedHookIDs(len(in.reqHooks), in.reqHooks, nil) {
-		in.reqHooks[id](req)
+	for _, h := range in.reqHooks {
+		if h.fn != nil {
+			h.fn(req)
+		}
 	}
 }
 
@@ -169,24 +244,11 @@ func (in *Inspector) SawResponse(resp *Response) {
 		return
 	}
 	x.Response = resp
-	for _, id := range sortedHookIDs(len(in.respHooks), nil, in.respHooks) {
-		in.respHooks[id](x.Request, resp)
-	}
-}
-
-func sortedHookIDs(n int, rh map[int]RequestHook, ph map[int]ResponseHook) []int {
-	ids := make([]int, 0, n)
-	if rh != nil {
-		for id := range rh {
-			ids = append(ids, id)
-		}
-	} else {
-		for id := range ph {
-			ids = append(ids, id)
+	for _, h := range in.respHooks {
+		if h.fn != nil {
+			h.fn(x.Request, resp)
 		}
 	}
-	sort.Ints(ids)
-	return ids
 }
 
 // Exchanges returns all exchanges in request order.
@@ -216,8 +278,7 @@ func (in *Inspector) MatchHosts(domains map[string]bool) []Exchange {
 	var out []Exchange
 	for _, id := range in.order {
 		x := in.exchanges[id]
-		host := x.Request.Host()
-		if domains[urlkit.RegistrableDomain(host)] {
+		if domains[x.Request.RegistrableHost()] {
 			out = append(out, *x)
 		}
 	}
