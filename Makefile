@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke bench-all profile
+# Committed allocs/visit ceiling for the CI bench gate (see PERF.md for
+# the measured numbers it is derived from; current steady state is ~140).
+ALLOCS_CEILING ?= 200
+
+.PHONY: build test race vet lint bench bench-smoke bench-gate bench-all benchstat baseline profile
 
 build:
 	$(GO) build ./...
@@ -14,6 +18,15 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Deprecated-API / static-analysis gate: go vet always, staticcheck when
+# installed (CI installs it; a bare container still gets vet).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; ran go vet only" ; \
+	fi
+
 # The crawl-throughput gate (PERF.md): sites/sec, ns/visit, allocs/visit.
 bench:
 	$(GO) test -run '^$$' -bench Crawl_EndToEnd -benchtime 5x -benchmem .
@@ -23,9 +36,29 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench Crawl_EndToEnd -benchtime 1x .
 
+# CI gate: bench smoke plus the committed allocs/visit ceiling.
+bench-gate:
+	MAX_ALLOCS=$(ALLOCS_CEILING) sh scripts/bench_gate.sh
+
 # Every paper-figure benchmark.
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Compare the current crawl benchmark against the committed baseline
+# (perf/bench.baseline.txt). Uses benchstat when installed, otherwise the
+# bundled awk fallback.
+benchstat:
+	$(GO) test -run '^$$' -bench Crawl_EndToEnd -benchtime 5x -benchmem . | tee perf/bench.latest.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat perf/bench.baseline.txt perf/bench.latest.txt ; \
+	else \
+		sh scripts/benchdiff.sh perf/bench.baseline.txt perf/bench.latest.txt ; \
+	fi
+
+# Refresh the committed baseline from the current tree (run on the
+# reference box after an intentional perf change, then commit).
+baseline:
+	$(GO) test -run '^$$' -bench Crawl_EndToEnd -benchtime 5x -benchmem . | tee perf/bench.baseline.txt
 
 # Regenerate the PERF.md profiles.
 profile:

@@ -7,7 +7,6 @@
 package adserver
 
 import (
-	"fmt"
 	"math"
 	"sort"
 	"strconv"
@@ -145,7 +144,7 @@ func (s *Server) generateBook() []LineItem {
 	nDirect := s.rng.UniformInt(0, 3)
 	for i := 0; i < nDirect; i++ {
 		items = append(items, LineItem{
-			ID:        fmt.Sprintf("direct-%d", i+1),
+			ID:        "direct-" + strconv.Itoa(i+1),
 			Type:      Direct,
 			CPM:       s.rng.LogNormal(logm(s.cfg.DirectCPMMedian), 0.4),
 			Sizes:     []hb.Size{hb.SizeMediumRectangle, hb.SizeLeaderboard}[0 : 1+s.rng.Intn(2)],

@@ -31,6 +31,21 @@ type Env interface {
 	Fetch(req *webreq.Request, cb func(*webreq.Response))
 }
 
+// CallFetcher is the optional closure-free counterpart of Env.Fetch: the
+// callback is a package-level function plus its receiver, so a fetch on
+// the crawl hot path allocates no closure per request. Envs that provide
+// it (the simulated network) are detected once per page; others fall
+// back to Fetch.
+type CallFetcher interface {
+	FetchCall(req *webreq.Request, fn func(*webreq.Response, any), arg any)
+}
+
+// CallScheduler is the optional closure-free counterpart of Env.After
+// (see CallFetcher).
+type CallScheduler interface {
+	AfterCall(d time.Duration, fn func(any), arg any)
+}
+
 // Options tunes page behaviour.
 type Options struct {
 	// HandlerCost models main-thread occupancy per delivered response
@@ -41,6 +56,11 @@ type Options struct {
 	// PageTimeout aborts the visit if the document does not load in time
 	// (the crawler uses 60s, mirroring the paper's crawl policy).
 	PageTimeout time.Duration
+	// NoEventHistory creates pages whose event bus dispatches without
+	// recording history. Detectors subscribe and consume events live, so
+	// the crawler enables this; tests that assert on Bus.History leave it
+	// off.
+	NoEventHistory bool
 }
 
 // DefaultOptions mirror the crawl configuration in the paper.
@@ -61,6 +81,8 @@ type Page struct {
 	Inspector *webreq.Inspector
 
 	env       Env
+	envFetch  CallFetcher   // non-nil when env supports closure-free fetch
+	envSched  CallScheduler // non-nil when env supports closure-free After
 	opts      Options
 	busyUntil time.Time
 	closed    bool
@@ -71,12 +93,19 @@ type Page struct {
 
 // NewPage creates a page bound to env.
 func NewPage(env Env, opts Options) *Page {
-	return &Page{
-		Bus:       events.NewBus(),
+	bus := events.NewBus()
+	if opts.NoEventHistory {
+		bus = events.NewBusNoHistory()
+	}
+	p := &Page{
+		Bus:       bus,
 		Inspector: webreq.NewInspector(),
 		env:       env,
 		opts:      opts,
 	}
+	p.envFetch, _ = env.(CallFetcher)
+	p.envSched, _ = env.(CallScheduler)
+	return p
 }
 
 // Now implements the library Env.
@@ -102,6 +131,67 @@ func (p *Page) Close() { p.closed = true }
 // Closed reports whether the page has been torn down.
 func (p *Page) Closed() bool { return p.closed }
 
+// pendingFetch is one in-flight page request: the former
+// Fetch-closure -> deliver-closure chain flattened onto a single struct
+// that rides the closure-free network/scheduler paths when the Env
+// provides them. One of these is the only per-request object the page
+// layer allocates.
+type pendingFetch struct {
+	p     *Page
+	cb    func(*webreq.Response)
+	resp  *webreq.Response
+	reqID int64
+}
+
+// pendingFetchNet receives the raw network response (CallFetcher path).
+func pendingFetchNet(resp *webreq.Response, a any) {
+	a.(*pendingFetch).onNet(resp)
+}
+
+// pendingFetchRun executes the queued delivery (CallScheduler path).
+func pendingFetchRun(a any) {
+	a.(*pendingFetch).run()
+}
+
+// onNet applies single-threaded queueing: if the main thread is busy
+// handling an earlier response, this one waits its turn, then occupies
+// the thread for HandlerCost.
+func (pf *pendingFetch) onNet(resp *webreq.Response) {
+	p := pf.p
+	if p.closed {
+		return
+	}
+	resp.RequestID = pf.reqID
+	pf.resp = resp
+	now := p.env.Now()
+	var wait time.Duration
+	if p.opts.HandlerCost > 0 && p.busyUntil.After(now) {
+		wait = p.busyUntil.Sub(now)
+	}
+	start := now.Add(wait)
+	p.busyUntil = start.Add(p.opts.HandlerCost)
+	if wait <= 0 {
+		pf.run()
+		return
+	}
+	if p.envSched != nil {
+		p.envSched.AfterCall(wait, pendingFetchRun, pf)
+		return
+	}
+	p.env.After(wait, pf.run)
+}
+
+func (pf *pendingFetch) run() {
+	p := pf.p
+	if p.closed {
+		return
+	}
+	resp := pf.resp
+	resp.Received = p.env.Now()
+	p.Inspector.SawResponse(resp)
+	pf.cb(resp)
+}
+
 // Fetch implements the library Env: the request is recorded by the
 // inspector, sent through the raw network, and its response delivery is
 // serialized through the page's main thread before cb runs.
@@ -117,39 +207,12 @@ func (p *Page) Fetch(req *webreq.Request, cb func(*webreq.Response)) {
 	}
 	req.ID = p.Inspector.NextID()
 	p.Inspector.SawRequest(req)
-	p.env.Fetch(req, func(resp *webreq.Response) {
-		if p.closed {
-			return
-		}
-		resp.RequestID = req.ID
-		p.deliver(resp, cb)
-	})
-}
-
-// deliver applies single-threaded queueing: if the main thread is busy
-// handling an earlier response, this one waits its turn, then occupies
-// the thread for HandlerCost.
-func (p *Page) deliver(resp *webreq.Response, cb func(*webreq.Response)) {
-	now := p.env.Now()
-	var wait time.Duration
-	if p.opts.HandlerCost > 0 && p.busyUntil.After(now) {
-		wait = p.busyUntil.Sub(now)
-	}
-	start := now.Add(wait)
-	p.busyUntil = start.Add(p.opts.HandlerCost)
-	run := func() {
-		if p.closed {
-			return
-		}
-		resp.Received = p.env.Now()
-		p.Inspector.SawResponse(resp)
-		cb(resp)
-	}
-	if wait <= 0 {
-		run()
+	pf := &pendingFetch{p: p, cb: cb, reqID: req.ID}
+	if p.envFetch != nil {
+		p.envFetch.FetchCall(req, pendingFetchNet, pf)
 		return
 	}
-	p.env.After(wait, run)
+	p.env.Fetch(req, pf.onNet)
 }
 
 // ScriptRuntime interprets the scripts found in a loaded document — the
@@ -185,6 +248,92 @@ func New(env Env, rt ScriptRuntime, opts Options) *Browser {
 	return &Browser{Env: env, Runtime: rt, Opts: opts}
 }
 
+// visitState carries one visit (timeout, document load, script fetches,
+// runtime start) across its async steps. The previous implementation
+// threaded the same state through a chain of per-visit closures; the
+// struct form allocates once and lets the timeout ride the scheduler's
+// closure-free path.
+type visitState struct {
+	b         *Browser
+	page      *Page
+	res       *VisitResult
+	done      func(*Page, *VisitResult)
+	finished  bool
+	started   time.Time
+	remaining int // script fetches outstanding
+}
+
+func (vs *visitState) finish() {
+	if !vs.finished && vs.done != nil {
+		vs.finished = true
+		vs.done(vs.page, vs.res)
+	}
+}
+
+// visitTimeout aborts the visit at the page-load deadline.
+func visitTimeout(a any) {
+	vs := a.(*visitState)
+	if !vs.finished {
+		vs.res.TimedOut = true
+		vs.page.Close()
+		vs.finish()
+	}
+}
+
+// onDoc handles the document response: on success it fetches each
+// external script in document order (these fetches are what the request
+// inspector and the static analyzer both see), then starts the runtime.
+func (vs *visitState) onDoc(resp *webreq.Response) {
+	if vs.finished {
+		return
+	}
+	b := vs.b
+	vs.res.DocLatency = b.Env.Now().Sub(vs.started)
+	if resp.Err != "" || !resp.OK() {
+		vs.res.Err = errString(resp)
+		vs.finish()
+		return
+	}
+	vs.res.Loaded = true
+	doc := htmlmeta.ParseCached(resp.Body)
+	vs.page.Doc = doc
+	for _, s := range doc.Scripts {
+		if s.Src != "" {
+			vs.remaining++
+		}
+	}
+	if vs.remaining == 0 {
+		vs.scriptsReady()
+		return
+	}
+	cb := vs.onScript // one method value shared by every script fetch
+	for _, s := range doc.Scripts {
+		if s.Src == "" {
+			continue
+		}
+		req := &webreq.Request{URL: s.Src, Method: webreq.GET, Kind: webreq.KindScript}
+		vs.page.Fetch(req, cb)
+	}
+}
+
+func (vs *visitState) onScript(*webreq.Response) {
+	vs.remaining--
+	if vs.remaining == 0 {
+		vs.scriptsReady()
+	}
+}
+
+// scriptsReady runs once all header scripts are answered: hand the page
+// to the script runtime, then report the visit.
+func (vs *visitState) scriptsReady() {
+	if vs.b.Runtime != nil {
+		vs.b.Runtime.RunScripts(vs.page, vs.page.Doc, vs.settle)
+	}
+	vs.finish()
+}
+
+func (vs *visitState) settle() { vs.res.Settled = true }
+
 // Visit loads url in a fresh page (clean slate: new bus, new inspector —
 // the crawler's stateless policy) and invokes done when the document has
 // loaded and scripts have been started, or on failure/timeout. Page
@@ -192,76 +341,25 @@ func New(env Env, rt ScriptRuntime, opts Options) *Browser {
 func (b *Browser) Visit(url string, done func(*Page, *VisitResult)) *Page {
 	page := NewPage(b.Env, b.Opts)
 	page.URL = url
-	res := &VisitResult{URL: url}
-	started := b.Env.Now()
-	finished := false
-	finish := func() {
-		if !finished && done != nil {
-			finished = true
-			done(page, res)
-		}
+	vs := &visitState{
+		b:       b,
+		page:    page,
+		res:     &VisitResult{URL: url},
+		done:    done,
+		started: b.Env.Now(),
 	}
 
 	if b.Opts.PageTimeout > 0 {
-		b.Env.After(b.Opts.PageTimeout, func() {
-			if !finished {
-				res.TimedOut = true
-				page.Close()
-				finish()
-			}
-		})
+		if page.envSched != nil {
+			page.envSched.AfterCall(b.Opts.PageTimeout, visitTimeout, vs)
+		} else {
+			b.Env.After(b.Opts.PageTimeout, func() { visitTimeout(vs) })
+		}
 	}
 
 	docReq := &webreq.Request{URL: url, Method: webreq.GET, Kind: webreq.KindDocument}
-	page.Fetch(docReq, func(resp *webreq.Response) {
-		if finished {
-			return
-		}
-		res.DocLatency = b.Env.Now().Sub(started)
-		if resp.Err != "" || !resp.OK() {
-			res.Err = errString(resp)
-			finish()
-			return
-		}
-		res.Loaded = true
-		doc := htmlmeta.Parse(resp.Body)
-		page.Doc = doc
-		b.loadScripts(page, doc, func() {
-			if b.Runtime != nil {
-				b.Runtime.RunScripts(page, doc, func() { res.Settled = true })
-			}
-			finish()
-		})
-	})
+	page.Fetch(docReq, vs.onDoc)
 	return page
-}
-
-// loadScripts fetches each external script in document order (these
-// fetches are what the request inspector and the static analyzer both
-// see) and calls ready when all have been answered.
-func (b *Browser) loadScripts(page *Page, doc *htmlmeta.Document, ready func()) {
-	var srcs []string
-	for _, s := range doc.Scripts {
-		if s.Src != "" {
-			srcs = append(srcs, s.Src)
-		}
-	}
-	page.Doc = doc
-	remaining := len(srcs)
-	if remaining == 0 {
-		ready()
-		return
-	}
-	for _, src := range srcs {
-		req := &webreq.Request{URL: src, Method: webreq.GET, Kind: webreq.KindScript}
-		page.Fetch(req, func(*webreq.Response) {
-			remaining--
-			if remaining == 0 {
-				ready()
-			}
-		})
-	}
-	_ = srcs
 }
 
 func errString(resp *webreq.Response) string {

@@ -7,7 +7,6 @@
 package clock
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -29,32 +28,20 @@ func (Wall) Now() time.Time { return time.Now() }
 // the paper's crawl period (February 2019).
 var Epoch = time.Date(2019, time.February, 1, 0, 0, 0, 0, time.UTC)
 
-// event is a scheduled callback.
+// event is a scheduled callback. Exactly one of fn and afn is set; afn
+// events carry their receiver in arg, so schedulers of struct-based state
+// machines (the simulated network's fetch pipeline) need no closure.
+//
+// Events are stored by value in the queue slice and ordered by
+// (key, seq): key is the virtual UnixNano timestamp — virtual time never
+// leaves the twenty-first century, so the int64 range is ample — and seq
+// is the FIFO tie-breaker among events at the same instant.
 type event struct {
-	at  time.Time
-	seq uint64 // tie-breaker: FIFO among events at the same instant
+	key int64
+	seq uint64
 	fn  func()
-}
-
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if !q[i].at.Equal(q[j].at) {
-		return q[i].at.Before(q[j].at)
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+	afn func(any)
+	arg any
 }
 
 // Scheduler is a deterministic discrete-event executor with a virtual
@@ -64,11 +51,18 @@ func (q *eventQueue) Pop() any {
 // HB latency (Section 7.2): even "parallel" asynchronous work serializes
 // through one executor.
 //
+// The queue is a binary min-heap of event values on one backing slice:
+// scheduling an event is an append plus a sift-up, with no per-event
+// allocation (the previous container/heap implementation boxed every
+// event twice — once for the *event node, once for the interface — and
+// that pair showed up in every crawl allocation profile).
+//
 // The zero value is ready to use and starts at Epoch.
 type Scheduler struct {
 	now     time.Time
+	nowKey  int64
 	seq     uint64
-	queue   eventQueue
+	queue   []event
 	running bool
 	stopped bool
 	steps   uint64
@@ -81,15 +75,116 @@ func NewScheduler(start time.Time) *Scheduler {
 	if start.IsZero() {
 		start = Epoch
 	}
-	return &Scheduler{now: start}
+	return &Scheduler{
+		now:    start,
+		nowKey: start.UnixNano(),
+		// One page visit keeps a few dozen events in flight; starting at
+		// a realistic capacity avoids the early growth reallocations that
+		// showed in crawl profiles.
+		queue: make([]event, 0, 32),
+	}
+}
+
+// Reset returns the scheduler to a pristine state starting at start
+// (Epoch if zero), retaining the queue's backing storage. The crawler
+// pools one scheduler per worker across visits: a fresh virtual timeline
+// per visit without re-growing the event heap each time. Pending events
+// are dropped (their references cleared for the GC).
+func (s *Scheduler) Reset(start time.Time) {
+	if s.running {
+		panic("clock: Reset called during Run")
+	}
+	if start.IsZero() {
+		start = Epoch
+	}
+	for i := range s.queue {
+		s.queue[i] = event{}
+	}
+	s.queue = s.queue[:0]
+	s.now = start
+	s.nowKey = start.UnixNano()
+	s.seq = 0
+	s.steps = 0
+	s.maxStep = 0
+	s.stopped = false
 }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Time {
 	if s.now.IsZero() {
 		s.now = Epoch
+		s.nowKey = Epoch.UnixNano()
 	}
 	return s.now
+}
+
+// The queue is a 4-ary min-heap: for the few dozen pending events of a
+// page visit, the shallower tree roughly halves the sift-down depth of
+// the binary layout, and pop was the scheduler's hottest frame.
+
+// push appends an event and restores the heap order (sift-up).
+func (s *Scheduler) push(ev event) {
+	q := append(s.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q[i].less(&q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	s.queue = q
+}
+
+// pop removes and returns the minimum event. Call only when the queue is
+// non-empty.
+func (s *Scheduler) pop() event {
+	q := s.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release fn/arg references
+	q = q[:n]
+	i := 0
+	for {
+		min := i
+		first := 4*i + 1
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if q[c].less(&q[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	s.queue = q
+	return top
+}
+
+func (e *event) less(o *event) bool {
+	if e.key != o.key {
+		return e.key < o.key
+	}
+	return e.seq < o.seq
+}
+
+// schedule clamps t to the present and enqueues the event.
+func (s *Scheduler) schedule(t time.Time, fn func(), afn func(any), arg any) {
+	s.Now() // materialize Epoch on the zero value
+	key := t.UnixNano()
+	if key < s.nowKey {
+		key = s.nowKey
+	}
+	s.seq++
+	s.push(event{key: key, seq: s.seq, fn: fn, afn: afn, arg: arg})
 }
 
 // At schedules fn to run at the given virtual time. Times in the past are
@@ -98,11 +193,18 @@ func (s *Scheduler) At(t time.Time, fn func()) {
 	if fn == nil {
 		panic("clock: At called with nil callback")
 	}
-	if t.Before(s.Now()) {
-		t = s.Now()
+	s.schedule(t, fn, nil, nil)
+}
+
+// AtCall schedules fn(arg) to run at the given virtual time (same
+// clamping as At). It exists so state machines that already own a state
+// struct can schedule steps without allocating a closure per step: the
+// caller passes a package-level func plus its receiver.
+func (s *Scheduler) AtCall(t time.Time, fn func(any), arg any) {
+	if fn == nil {
+		panic("clock: AtCall called with nil callback")
 	}
-	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	s.schedule(t, nil, fn, arg)
 }
 
 // After schedules fn to run d from the current virtual time. Negative
@@ -112,6 +214,15 @@ func (s *Scheduler) After(d time.Duration, fn func()) {
 		d = 0
 	}
 	s.At(s.Now().Add(d), fn)
+}
+
+// AfterCall schedules fn(arg) to run d from the current virtual time
+// (the closure-free counterpart of After; see AtCall).
+func (s *Scheduler) AfterCall(d time.Duration, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	s.AtCall(s.Now().Add(d), fn, arg)
 }
 
 // Post schedules fn to run as soon as possible, after events already due.
@@ -131,6 +242,23 @@ func (s *Scheduler) Steps() uint64 { return s.steps }
 // events remain queued.
 func (s *Scheduler) Stop() { s.stopped = true }
 
+// advanceTo moves the clock forward to the event's timestamp.
+func (s *Scheduler) advanceTo(key int64) {
+	if key > s.nowKey {
+		s.now = s.now.Add(time.Duration(key - s.nowKey))
+		s.nowKey = key
+	}
+}
+
+// run executes the event's callback.
+func (ev *event) run() {
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	ev.afn(ev.arg)
+}
+
 // Run executes queued events in order until the queue drains, Stop is
 // called, or the step limit is reached. It returns the number of events
 // executed during this call.
@@ -147,13 +275,11 @@ func (s *Scheduler) Run() int {
 		if s.maxStep > 0 && s.steps >= s.maxStep {
 			break
 		}
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.at.After(s.now) {
-			s.now = ev.at
-		}
+		ev := s.pop()
+		s.advanceTo(ev.key)
 		s.steps++
 		executed++
-		ev.fn()
+		ev.run()
 	}
 	return executed
 }
@@ -169,24 +295,24 @@ func (s *Scheduler) RunUntil(deadline time.Time) int {
 	s.stopped = false
 	defer func() { s.running = false }()
 
+	deadlineKey := deadline.UnixNano()
 	executed := 0
 	for len(s.queue) > 0 && !s.stopped {
 		if s.maxStep > 0 && s.steps >= s.maxStep {
 			break
 		}
-		if s.queue[0].at.After(deadline) {
+		if s.queue[0].key > deadlineKey {
 			break
 		}
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.at.After(s.now) {
-			s.now = ev.at
-		}
+		ev := s.pop()
+		s.advanceTo(ev.key)
 		s.steps++
 		executed++
-		ev.fn()
+		ev.run()
 	}
-	if deadline.After(s.now) {
+	if deadlineKey > s.nowKey {
 		s.now = deadline
+		s.nowKey = deadlineKey
 	}
 	return executed
 }

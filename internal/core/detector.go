@@ -148,9 +148,15 @@ func (o *Observation) Bids() []BidObs {
 
 // Detector is one page's HBDetector instance. Attach it before the page
 // loads; call Observation after the page settles.
+//
+// All detector maps are lazy: they materialize on first write, so the
+// majority of crawled pages — non-HB sites whose visits never produce an
+// auction, a partner exchange or a render event — allocate no detector
+// state at all beyond the struct itself. Reads of nil maps are safe in
+// Go, and Observation serializes identically whether a map is nil or
+// empty (proven by the crawler's eager-vs-lazy golden test).
 type Detector struct {
 	registry *partners.Registry
-	domains  map[string]bool
 	page     *browser.Page
 
 	// event-channel state
@@ -238,22 +244,30 @@ func Attach(page *browser.Page, reg *partners.Registry) *Detector {
 	return AttachWithOptions(page, reg, FullOptions())
 }
 
-// AttachWithOptions wires a detector with selected channels.
+// EagerAttachForTest forces AttachWithOptions to materialize every
+// detector map up front, reproducing the pre-lazy implementation. It
+// exists solely for the golden test that proves lazy and eager detectors
+// serialize byte-identical records; production code must leave it false.
+var EagerAttachForTest = false
+
+// AttachWithOptions wires a detector with selected channels. Detector
+// state is allocated lazily on first write (see Detector).
 func AttachWithOptions(page *browser.Page, reg *partners.Registry, opts Options) *Detector {
 	d := &Detector{
-		registry:        reg,
-		domains:         reg.Domains(),
-		page:            page,
-		auctions:        make(map[string]*auctionState),
-		libs:            make(map[string]bool),
-		rendered:        make(map[string]bool),
-		failed:          make(map[string]bool),
-		sizes:           make(map[string]hb.Size),
-		partnerSeen:     make(map[string]bool),
-		winnerSeen:      make(map[string]bool),
-		partnerLats:     make(map[string][]time.Duration),
-		partnerLateLats: make(map[string][]time.Duration),
-		timedOut:        make(map[string]bool),
+		registry: reg,
+		page:     page,
+	}
+	if EagerAttachForTest {
+		d.auctions = make(map[string]*auctionState)
+		d.libs = make(map[string]bool)
+		d.rendered = make(map[string]bool)
+		d.failed = make(map[string]bool)
+		d.sizes = make(map[string]hb.Size)
+		d.partnerSeen = make(map[string]bool)
+		d.winnerSeen = make(map[string]bool)
+		d.partnerLats = make(map[string][]time.Duration)
+		d.partnerLateLats = make(map[string][]time.Duration)
+		d.timedOut = make(map[string]bool)
 	}
 	if opts.Events {
 		page.Bus.SubscribeAll(d.onEvent)
@@ -275,6 +289,9 @@ func (d *Detector) onEvent(e events.Event) {
 	}
 	d.eventCount++
 	if e.Library != "" {
+		if d.libs == nil {
+			d.libs = make(map[string]bool, 2)
+		}
 		d.libs[e.Library] = true
 	}
 	switch e.Type {
@@ -304,6 +321,9 @@ func (d *Detector) onEvent(e events.Event) {
 		// The bidder missed the wrapper deadline; its (eventual) response
 		// latency belongs in the late-bid analysis, not the partner
 		// latency profile (Figures 14/16 summarize concluded exchanges).
+		if d.timedOut == nil {
+			d.timedOut = make(map[string]bool, 2)
+		}
 		d.timedOut[e.Bidder] = true
 	case events.AuctionEnd:
 		st := d.auction(e.AuctionID)
@@ -323,10 +343,16 @@ func (d *Detector) onEvent(e events.Event) {
 			st.obs.Bids = append(st.obs.Bids, w)
 			st.obs.Winner = &st.obs.Bids[len(st.obs.Bids)-1]
 		}
-		d.winnerSeen[e.Bidder] = true
+		d.markWinner(e.Bidder)
 	case events.SlotRenderEnded:
+		if d.rendered == nil {
+			d.rendered = make(map[string]bool, 4)
+		}
 		d.rendered[e.AdUnit] = true
 		if !e.Size.IsZero() {
+			if d.sizes == nil {
+				d.sizes = make(map[string]hb.Size, 4)
+			}
 			d.sizes[e.AdUnit] = e.Size
 		}
 		// Server-side winners surface in the creative parameters attached
@@ -334,6 +360,9 @@ func (d *Detector) onEvent(e events.Event) {
 		d.mineTargeting(e.Params, e.Time)
 	case events.AdRenderFailed:
 		d.renderFails++
+		if d.failed == nil {
+			d.failed = make(map[string]bool, 2)
+		}
 		d.failed[e.AdUnit] = true
 	}
 }
@@ -341,6 +370,9 @@ func (d *Detector) onEvent(e events.Event) {
 func (d *Detector) auction(id string) *auctionState {
 	st, ok := d.auctions[id]
 	if !ok {
+		if d.auctions == nil {
+			d.auctions = make(map[string]*auctionState, 4)
+		}
 		st = &auctionState{}
 		st.obs.ID = id
 		d.auctions[id] = st
@@ -349,13 +381,20 @@ func (d *Detector) auction(id string) *auctionState {
 	return st
 }
 
+// markWinner records a winning bidder, materializing the set lazily.
+func (d *Detector) markWinner(slug string) {
+	if d.winnerSeen == nil {
+		d.winnerSeen = make(map[string]bool, 2)
+	}
+	d.winnerSeen[slug] = true
+}
+
 // ---------------------------------------------------------------------------
 // WebRequest channel
 // ---------------------------------------------------------------------------
 
 func (d *Detector) onRequest(req *webreq.Request) {
 	d.requestCount++
-	host := req.Host()
 	params := req.Params()
 	d.countTraffic(req, params)
 
@@ -365,6 +404,9 @@ func (d *Detector) onRequest(req *webreq.Request) {
 	// pixels and generic tracking to the same domains do not.
 	if p, ok := d.registry.ByDomain(req.RegistrableHost()); ok {
 		if isHBEndpoint(req.URL) {
+			if d.partnerSeen == nil {
+				d.partnerSeen = make(map[string]bool, 4)
+			}
 			d.partnerSeen[p.Slug] = true
 		}
 		if strings.Contains(req.URL, "/ssp/auction") {
@@ -391,7 +433,6 @@ func (d *Detector) onRequest(req *webreq.Request) {
 	if strings.Contains(req.URL, "/render") {
 		d.mineTargeting(params, req.Sent)
 	}
-	_ = host
 }
 
 func (d *Detector) onResponse(req *webreq.Request, resp *webreq.Response) {
@@ -403,9 +444,15 @@ func (d *Detector) onResponse(req *webreq.Request, resp *webreq.Response) {
 				break // failed exchanges carry no usable latency sample
 			}
 			if d.timedOut[p.Slug] {
+				if d.partnerLateLats == nil {
+					d.partnerLateLats = make(map[string][]time.Duration, 2)
+				}
 				d.partnerLateLats[p.Slug] = append(d.partnerLateLats[p.Slug], lat)
 				delete(d.timedOut, p.Slug)
 			} else {
+				if d.partnerLats == nil {
+					d.partnerLats = make(map[string][]time.Duration, 4)
+				}
 				d.partnerLats[p.Slug] = append(d.partnerLats[p.Slug], lat)
 			}
 		case strings.Contains(req.URL, "/ssp/auction"):
@@ -486,7 +533,7 @@ func (d *Detector) mineTargeting(params map[string]string, at time.Time) {
 	if bidder == "" {
 		return
 	}
-	d.winnerSeen[bidder] = true
+	d.markWinner(bidder)
 	if src := t[hb.KeySource]; src == "s2s" {
 		cpm, _ := t.Price()
 		// Prefer the exact hb_price over the bucketed hb_pb when present.

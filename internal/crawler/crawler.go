@@ -175,9 +175,15 @@ func streamDay(parent context.Context, w *sitegen.World, jobs []crawlJob, opts O
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One pooled scheduler+network per worker, reset between
+			// visits: per-visit determinism depends only on the seeds,
+			// so reuse changes no output bytes (the workers-1-vs-N
+			// JSONL test is the standing proof) while eliminating the
+			// per-visit construction the allocation profile blamed.
+			vrt := newVisitRuntime()
 			for idx := range jobCh {
 				j := jobs[idx]
-				rec := VisitSimulated(w, j.site, j.day, opts)
+				rec := vrt.visit(w, j.site, j.day, opts)
 				select {
 				case resCh <- result{rec: rec, idx: idx}:
 				case <-ctx.Done():
@@ -243,19 +249,43 @@ func CrawlWorld(w *sitegen.World, opts Options) []*dataset.SiteRecord {
 	return all
 }
 
+// visitRuntime is the pooled per-worker simulation substrate: one
+// scheduler and one network, reset to a pristine, seeded state before
+// every visit. Pooling never crosses goroutines, and a reset runtime is
+// observationally identical to a fresh one.
+type visitRuntime struct {
+	sched *clock.Scheduler
+	net   *simnet.Network
+	env   *simnet.Env
+}
+
+func newVisitRuntime() *visitRuntime {
+	sched := clock.NewScheduler(clock.Epoch)
+	net := simnet.New(sched, 0)
+	return &visitRuntime{sched: sched, net: net, env: net.Env()}
+}
+
 // VisitSimulated performs one clean-slate visit of one site on a private
 // virtual-clock network. Deterministic in (world seed, site, day).
 func VisitSimulated(w *sitegen.World, s *sitegen.Site, day int, opts Options) *dataset.SiteRecord {
-	// Private scheduler + network per visit: the "new, clean instance"
-	// policy from the paper, and what makes visits parallelizable. Only
-	// the hosts this visit can reach are installed.
-	sched := clock.NewScheduler(clock.Epoch.AddDate(0, 0, day))
-	net := simnet.New(sched, visitSeed(opts.Seed, s.Domain, day))
+	return newVisitRuntime().visit(w, s, day, opts)
+}
+
+// visit performs one clean-slate visit on the pooled runtime. The
+// scheduler and network are reset first — the "new, clean instance"
+// policy from the paper — and only the hosts this visit can reach are
+// installed.
+func (vrt *visitRuntime) visit(w *sitegen.World, s *sitegen.Site, day int, opts Options) *dataset.SiteRecord {
+	vrt.sched.Reset(clock.Epoch.AddDate(0, 0, day))
+	vrt.net.Reset(visitSeed(opts.Seed, s.Domain, day))
+	net := vrt.net
+	sched := vrt.sched
 	w.InstallSimnetFor(net, s)
 
-	env := net.Env()
+	env := vrt.env
 	rt := pagert.New(w.Registry)
 	bopts := browser.DefaultOptions()
+	bopts.NoEventHistory = true // the detector consumes events live
 	if opts.PageTimeout > 0 {
 		bopts.PageTimeout = opts.PageTimeout
 	}

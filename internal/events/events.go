@@ -7,7 +7,6 @@ package events
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"headerbid/internal/hb"
@@ -38,12 +37,14 @@ func AllTypes() []Type {
 	}
 }
 
-// Valid reports whether t is a known event type.
+// Valid reports whether t is a known event type. The detector calls this
+// on every event of every visit, so it is a switch rather than a scan of
+// a freshly allocated AllTypes slice.
 func (t Type) Valid() bool {
-	for _, k := range AllTypes() {
-		if t == k {
-			return true
-		}
+	switch t {
+	case AuctionInit, RequestBids, BidRequested, BidResponse, BidTimeout,
+		AuctionEnd, BidWon, SetTargeting, SlotRenderEnded, AdRenderFailed:
+		return true
 	}
 	return false
 }
@@ -82,10 +83,16 @@ type Listener func(Event)
 // single-threaded: pages (and the simulation's scheduler) deliver events
 // in order, and the detector relies on that ordering. The zero value is
 // ready to use.
+//
+// Listeners live in append-ordered slices (registration order is the
+// dispatch order), so Emit is a plain iteration — the previous
+// map-keyed registry sorted a freshly allocated ID slice on every event
+// of every visit. Cancel nils the entry rather than splicing, so
+// unsubscribing from inside a listener during dispatch cannot skip or
+// re-run sibling listeners.
 type Bus struct {
-	nextID    int
-	byType    map[Type]map[int]Listener
-	wildcards map[int]Listener
+	byType    map[Type][]Listener
+	wildcards []Listener
 	history   []Event
 	keepAll   bool
 }
@@ -96,30 +103,29 @@ func NewBus() *Bus {
 	return &Bus{keepAll: true}
 }
 
+// NewBusNoHistory returns a bus that dispatches without recording
+// history. The crawler uses it: detector listeners consume events as
+// they fire, and retaining tens of events per visit only fed the GC.
+func NewBusNoHistory() *Bus {
+	return &Bus{}
+}
+
 // Subscribe registers fn for a single event type and returns an
 // unsubscribe handle.
 func (b *Bus) Subscribe(t Type, fn Listener) (cancel func()) {
 	if b.byType == nil {
-		b.byType = make(map[Type]map[int]Listener)
+		b.byType = make(map[Type][]Listener)
 	}
-	if b.byType[t] == nil {
-		b.byType[t] = make(map[int]Listener)
-	}
-	id := b.nextID
-	b.nextID++
-	b.byType[t][id] = fn
-	return func() { delete(b.byType[t], id) }
+	b.byType[t] = append(b.byType[t], fn)
+	idx := len(b.byType[t]) - 1
+	return func() { b.byType[t][idx] = nil }
 }
 
 // SubscribeAll registers fn for every event type.
 func (b *Bus) SubscribeAll(fn Listener) (cancel func()) {
-	if b.wildcards == nil {
-		b.wildcards = make(map[int]Listener)
-	}
-	id := b.nextID
-	b.nextID++
-	b.wildcards[id] = fn
-	return func() { delete(b.wildcards, id) }
+	b.wildcards = append(b.wildcards, fn)
+	idx := len(b.wildcards) - 1
+	return func() { b.wildcards[idx] = nil }
 }
 
 // Emit delivers e to listeners in deterministic (registration) order and
@@ -128,25 +134,16 @@ func (b *Bus) Emit(e Event) {
 	if b.keepAll || b.history != nil {
 		b.history = append(b.history, e)
 	}
-	if ls := b.byType[e.Type]; len(ls) > 0 {
-		for _, id := range sortedIDs(ls) {
-			ls[id](e)
+	for _, fn := range b.byType[e.Type] {
+		if fn != nil {
+			fn(e)
 		}
 	}
-	if len(b.wildcards) > 0 {
-		for _, id := range sortedIDs(b.wildcards) {
-			b.wildcards[id](e)
+	for _, fn := range b.wildcards {
+		if fn != nil {
+			fn(e)
 		}
 	}
-}
-
-func sortedIDs(m map[int]Listener) []int {
-	ids := make([]int, 0, len(m))
-	for id := range m {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	return ids
 }
 
 // History returns all events emitted so far, in order.

@@ -9,7 +9,6 @@
 package gptlib
 
 import (
-	"fmt"
 	"strings"
 	"time"
 
@@ -99,7 +98,7 @@ func (c *ServerSideClient) Run(done func(*ServerSideResult)) {
 	for _, s := range c.cfg.Slots {
 		specs = append(specs, s.Code+"|"+s.Size.String())
 	}
-	endpoint := fmt.Sprintf("https://hb.%s/ssp/auction", provider.Host)
+	endpoint := "https://hb." + provider.Host + "/ssp/auction"
 	hostedParams := map[string]string{
 		"site":  c.cfg.Site,
 		"slots": strings.Join(specs, ","),

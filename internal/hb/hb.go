@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"headerbid/internal/urlkit"
 )
 
 // Facet identifies how a publisher deploys Header Bidding. The paper
@@ -82,8 +84,24 @@ type Size struct {
 	H int
 }
 
-// String renders the conventional "WxH" form.
-func (s Size) String() string { return fmt.Sprintf("%dx%d", s.W, s.H) }
+// sizeStrings interns the rendered form of every catalog size (built in
+// init from the named constants below, so the catalog stays the single
+// source of truth): the per-bid render of hb_size never allocates on
+// the crawl hot path.
+var sizeStrings map[Size]string
+
+// String renders the conventional "WxH" form, interned for the catalog
+// sizes that dominate real inventory (Figure 21).
+func (s Size) String() string {
+	if v, ok := sizeStrings[s]; ok {
+		return v
+	}
+	b := make([]byte, 0, 12)
+	b = strconv.AppendInt(b, int64(s.W), 10)
+	b = append(b, 'x')
+	b = strconv.AppendInt(b, int64(s.H), 10)
+	return string(b)
+}
 
 // Area returns W*H, used to order slot sizes in Figure 23.
 func (s Size) Area() int { return s.W * s.H }
@@ -94,16 +112,18 @@ func (s Size) IsZero() bool { return s.W == 0 && s.H == 0 }
 // ParseSize parses "300x250" (also tolerating "300X250" and surrounding
 // spaces). It returns an error for anything else.
 func ParseSize(str string) (Size, error) {
-	t := strings.TrimSpace(strings.ToLower(str))
-	parts := strings.Split(t, "x")
-	if len(parts) != 2 {
+	t := strings.TrimSpace(str)
+	// Zero-alloc split on the single 'x'/'X' separator; ToLower would
+	// allocate for the "300X250" spelling and Split always does.
+	i := strings.IndexAny(t, "xX")
+	if i < 0 || strings.IndexAny(t[i+1:], "xX") >= 0 {
 		return Size{}, fmt.Errorf("hb: malformed size %q", str)
 	}
-	w, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	w, err := strconv.Atoi(strings.TrimSpace(t[:i]))
 	if err != nil {
 		return Size{}, fmt.Errorf("hb: malformed size %q: %v", str, err)
 	}
-	h, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	h, err := strconv.Atoi(strings.TrimSpace(t[i+1:]))
 	if err != nil {
 		return Size{}, fmt.Errorf("hb: malformed size %q: %v", str, err)
 	}
@@ -131,6 +151,24 @@ var (
 	SizeMobileSlim      = Size{300, 50}
 	SizeSmallRect       = Size{300, 100}
 )
+
+func init() {
+	catalog := []Size{
+		SizeMediumRectangle, SizeLeaderboard, SizeHalfPage,
+		SizeMobileBanner, SizeBillboard, SizeSkyscraper,
+		SizeLargeRectangle, SizeSuperLeader, SizeLargeMobile,
+		SizeFullBanner, SizeWideSkyscraper, SizeMobileSquare,
+		SizeSmallSquare, SizeMobileSlim, SizeSmallRect,
+	}
+	sizeStrings = make(map[Size]string, len(catalog))
+	for _, s := range catalog {
+		b := make([]byte, 0, 12)
+		b = strconv.AppendInt(b, int64(s.W), 10)
+		b = append(b, 'x')
+		b = strconv.AppendInt(b, int64(s.H), 10)
+		sizeStrings[s] = string(b)
+	}
+}
 
 // Currency is an ISO-4217 code. Bid prices in the study are normalized to
 // USD CPM; other currencies occur in the wild and are converted.
@@ -200,7 +238,14 @@ func PriceBucket(cpm float64) string {
 		cpm = 20
 	}
 	cents := int(cpm*100) / 10 * 10
-	return fmt.Sprintf("%d.%02d", cents/100, cents%100)
+	// Render "D.CC" without fmt. Buckets step by $0.10 and cap at $20, so
+	// the fractional part is always one of ten constants.
+	b := make([]byte, 0, 8)
+	b = strconv.AppendInt(b, int64(cents/100), 10)
+	b = append(b, '.')
+	frac := cents % 100
+	b = append(b, byte('0'+frac/10), byte('0'+frac%10))
+	return string(b)
 }
 
 // Targeting keys set by HB wrappers on the ad-server request. Their
@@ -221,27 +266,35 @@ const (
 	KeyBidderFull = "bidder"     // prebid bid-request parameter
 )
 
+// targetingKeys backs TargetingKeys and the IsTargetingKey scan (the
+// public accessor returns a copy; the detector consults the shared array
+// on every request parameter, where a fresh slice per call was measurable
+// crawl overhead).
+var targetingKeys = [...]string{
+	KeyBidder, KeyPriceBuck, KeyAdID, KeySize, KeySource, KeyFormat,
+	KeyDeal, KeyCacheID, KeyCurrency, KeyPartner, KeyPrice,
+}
+
 // TargetingKeys returns every hb_* key in a stable order.
 func TargetingKeys() []string {
-	return []string{
-		KeyBidder, KeyPriceBuck, KeyAdID, KeySize, KeySource, KeyFormat,
-		KeyDeal, KeyCacheID, KeyCurrency, KeyPartner, KeyPrice,
-	}
+	out := make([]string, len(targetingKeys))
+	copy(out, targetingKeys[:])
+	return out
 }
 
 // IsTargetingKey reports whether a query-parameter name is HB-specific.
 // Matching is case-insensitive and accepts bidder-suffixed variants such
 // as "hb_bidder_appnexus", which prebid emits with send-all-bids enabled.
 func IsTargetingKey(name string) bool {
-	n := strings.ToLower(name)
+	n := urlkit.LowerASCII(name)
 	if n == KeyBidderFull {
 		return true
 	}
 	if !strings.HasPrefix(n, "hb_") {
 		return false
 	}
-	for _, k := range TargetingKeys() {
-		if n == k || strings.HasPrefix(n, k+"_") {
+	for _, k := range targetingKeys {
+		if strings.HasPrefix(n, k) && (len(n) == len(k) || n[len(k)] == '_') {
 			return true
 		}
 	}

@@ -7,6 +7,7 @@ package htmlmeta
 
 import (
 	"strings"
+	"sync"
 )
 
 // Script describes one <script> element found in a document.
@@ -204,4 +205,48 @@ func isSpaceByte(b byte) bool {
 		return true
 	}
 	return false
+}
+
+// parseCache memoizes Parse results by source text. Crawl visits fetch
+// the same generated page once per crawl day, and Parse is a pure
+// function of the source, so re-scanning identical markup is wasted
+// work. Callers must treat the returned Document as immutable (every
+// in-repo consumer already does: the page runtime and the static
+// analyzer only read it).
+//
+// The cache is bounded: once parseCacheMax distinct sources accumulate
+// it is cleared wholesale and rebuilds from live traffic, so a
+// long-lived process cycling through many worlds cannot retain every
+// page it ever saw. The bound is sized for the working set that repeats
+// — the HB subset a multi-day crawl re-visits (~5k pages per 35k-site
+// world) and the small worlds tests and benchmarks loop over — not for
+// one whole world, whose day-0 pages are each parsed once anyway. (A
+// per-Site cache would scope retention to the world's lifetime, but
+// this layer sees only response bodies, not sites; the bounded global
+// is the deliberate tradeoff.)
+var (
+	parseCache     sync.Map // string -> *Document
+	parseCacheN    int32
+	parseCacheLock sync.Mutex
+)
+
+const parseCacheMax = 16384
+
+// ParseCached is Parse memoized on the source text. Use it when the same
+// markup is parsed repeatedly (the crawler's per-visit document load);
+// the returned Document is shared and must not be modified.
+func ParseCached(src string) *Document {
+	if d, ok := parseCache.Load(src); ok {
+		return d.(*Document)
+	}
+	d := Parse(src)
+	parseCacheLock.Lock()
+	if parseCacheN >= parseCacheMax {
+		parseCache.Clear()
+		parseCacheN = 0
+	}
+	parseCacheN++
+	parseCacheLock.Unlock()
+	parseCache.Store(src, d)
+	return d
 }

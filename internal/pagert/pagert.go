@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"sync"
 
 	"headerbid/internal/browser"
 	"headerbid/internal/gptlib"
@@ -60,6 +61,29 @@ func (c *PageConfig) InlineScript() (string, error) {
 	return "var " + ConfigMarker + " = " + string(blob) + ";", nil
 }
 
+// cachedConfig memoizes one inline script's parse outcome.
+type cachedConfig struct {
+	cfg *PageConfig
+	err error
+}
+
+// configCache memoizes ExtractConfig by inline-script text: the crawler
+// re-visits each generated page every crawl day, and decoding the same
+// config JSON per visit was a measurable slice of crawl CPU. Parsing is
+// a pure function of the text; the cached PageConfig is shared and must
+// be treated as read-only (all library consumers only read it). Bounded
+// like htmlmeta's parse cache (and sized the same way — for the
+// repeating working set, not a whole world): past configCacheMax
+// distinct scripts the cache is cleared wholesale and rebuilds from
+// live traffic.
+var (
+	configCache     sync.Map // string -> cachedConfig
+	configCacheN    int32
+	configCacheLock sync.Mutex
+)
+
+const configCacheMax = 16384
+
 // ExtractConfig finds and parses the inline configuration in a document.
 // It returns (nil, nil) when the page carries no HB config.
 func ExtractConfig(doc *htmlmeta.Document) (*PageConfig, error) {
@@ -67,23 +91,40 @@ func ExtractConfig(doc *htmlmeta.Document) (*PageConfig, error) {
 		if s.Src != "" || !strings.Contains(s.Inline, ConfigMarker) {
 			continue
 		}
-		start := strings.IndexByte(s.Inline, '{')
-		end := strings.LastIndexByte(s.Inline, '}')
-		if start < 0 || end <= start {
-			return nil, fmt.Errorf("pagert: malformed inline config")
+		if c, ok := configCache.Load(s.Inline); ok {
+			cc := c.(cachedConfig)
+			return cc.cfg, cc.err
 		}
-		var cfg PageConfig
-		if err := json.Unmarshal([]byte(s.Inline[start:end+1]), &cfg); err != nil {
-			return nil, fmt.Errorf("pagert: parse inline config: %w", err)
+		cfg, err := parseInlineConfig(s.Inline)
+		configCacheLock.Lock()
+		if configCacheN >= configCacheMax {
+			configCache.Clear()
+			configCacheN = 0
 		}
-		for i := range cfg.AdUnits {
-			if err := cfg.AdUnits[i].NormalizeSizes(); err != nil {
-				return nil, err
-			}
-		}
-		return &cfg, nil
+		configCacheN++
+		configCacheLock.Unlock()
+		configCache.Store(s.Inline, cachedConfig{cfg: cfg, err: err})
+		return cfg, err
 	}
 	return nil, nil
+}
+
+func parseInlineConfig(inline string) (*PageConfig, error) {
+	start := strings.IndexByte(inline, '{')
+	end := strings.LastIndexByte(inline, '}')
+	if start < 0 || end <= start {
+		return nil, fmt.Errorf("pagert: malformed inline config")
+	}
+	var cfg PageConfig
+	if err := json.Unmarshal([]byte(inline[start:end+1]), &cfg); err != nil {
+		return nil, fmt.Errorf("pagert: parse inline config: %w", err)
+	}
+	for i := range cfg.AdUnits {
+		if err := cfg.AdUnits[i].NormalizeSizes(); err != nil {
+			return nil, err
+		}
+	}
+	return &cfg, nil
 }
 
 // Activity reports what the runtime executed on a page, for ground-truth

@@ -8,7 +8,6 @@
 package partners
 
 import (
-	"fmt"
 	"math"
 	"sort"
 	"strings"
@@ -63,25 +62,79 @@ type Profile struct {
 	// DSPCount is the number of affiliated DSPs in the partner's internal
 	// RTB auction; larger internal auctions add latency variability.
 	DSPCount int
+
+	// Pre-rendered per-profile constants, filled at registry construction
+	// so the per-visit protocol emulation never re-mints them: endpoint
+	// URLs (previously one fmt.Sprintf per bid request of every visit)
+	// and the lognormal latency parameters (previously two math.Log calls
+	// per latency sample).
+	bidEndpoint  string
+	syncEndpoint string
+	bidReqURL    string
+	bidReqParams map[string]string
+	latMu        float64
+	latSigma     float64
+	latReady     bool
 }
 
 // HasRole reports whether the profile has the given role flag.
 func (p *Profile) HasRole(r Role) bool { return p.Roles&r != 0 }
 
+// precompute fills the profile's derived constants (idempotent).
+func (p *Profile) precompute() {
+	p.bidEndpoint = "https://bid." + p.Host + "/hb/v1/bid"
+	p.syncEndpoint = "https://sync." + p.Host + "/pixel"
+	// "bidder" is hb.KeyBidderFull, prebid's bid-request parameter; the
+	// literal avoids a partners→hb dependency for one constant.
+	p.bidReqParams = map[string]string{"bidder": p.Slug}
+	p.bidReqURL = urlkit.WithParams(p.bidEndpoint, p.bidReqParams)
+	p.latMu, p.latSigma = rng.LogNormalParams(p.MedianMS, p.P90MS)
+	p.latReady = true
+}
+
+// BidRequestURL returns the bid endpoint with the bidder parameter
+// attached — the exact URL prebid POSTs to, rendered once per profile
+// instead of once per bid request of every visit.
+func (p *Profile) BidRequestURL() string {
+	if p.bidReqURL == "" {
+		return urlkit.WithParams(p.BidEndpoint(), map[string]string{"bidder": p.Slug})
+	}
+	return p.bidReqURL
+}
+
+// BidRequestParams returns the shared query-parameter view matching
+// BidRequestURL (for webreq.Request.PrefillParams). The map is shared
+// across every bid request to this partner: treat it as read-only.
+func (p *Profile) BidRequestParams() map[string]string {
+	if p.bidReqParams == nil {
+		return map[string]string{"bidder": p.Slug}
+	}
+	return p.bidReqParams
+}
+
 // BidEndpoint returns the URL wrappers POST bid requests to.
 func (p *Profile) BidEndpoint() string {
-	return fmt.Sprintf("https://bid.%s/hb/v1/bid", p.Host)
+	if p.bidEndpoint == "" {
+		return "https://bid." + p.Host + "/hb/v1/bid"
+	}
+	return p.bidEndpoint
 }
 
 // SyncEndpoint returns the user-sync (cookie match) pixel URL.
 func (p *Profile) SyncEndpoint() string {
-	return fmt.Sprintf("https://sync.%s/pixel", p.Host)
+	if p.syncEndpoint == "" {
+		return "https://sync." + p.Host + "/pixel"
+	}
+	return p.syncEndpoint
 }
 
 // LatencyParams converts the calibrated median/p90 into lognormal (mu,
 // sigma) in milliseconds.
 func (p *Profile) LatencyParams() (mu, sigma float64) {
-	return rng.LogNormalParams(p.MedianMS, p.P90MS)
+	if !p.latReady {
+		return rng.LogNormalParams(p.MedianMS, p.P90MS)
+	}
+	return p.latMu, p.latSigma
 }
 
 // SampleLatency draws one response latency for this partner.
@@ -148,6 +201,7 @@ func NewRegistry(profiles []Profile) *Registry {
 		if _, dup := r.bySlug[p.Slug]; dup {
 			panic("partners: duplicate slug " + p.Slug)
 		}
+		p.precompute()
 		r.bySlug[p.Slug] = p
 		r.byDomain[urlkit.RegistrableDomain(p.Host)] = p
 	}

@@ -1,7 +1,7 @@
 package prebid
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -37,7 +37,7 @@ func (r *roundState) finalizeAuction() {
 		w.emit(events.Event{
 			Type: events.AuctionEnd, Time: now, AuctionID: uo.AuctionID,
 			AdUnit: u.Code, Library: "prebid.js",
-			Params: map[string]string{"bids": fmt.Sprintf("%d", len(uo.Bids))},
+			Params: map[string]string{"bids": strconv.Itoa(len(uo.Bids))},
 		})
 		uo.Winner = pickWinner(uo.Bids)
 	}
@@ -69,7 +69,7 @@ func (r *roundState) callAdServer() {
 
 	params := map[string]string{
 		"site": w.cfg.Site,
-		"t":    fmt.Sprintf("%d", now.UnixMilli()),
+		"t":    strconv.FormatInt(now.UnixMilli(), 10),
 	}
 	var slotSpecs []string
 	for _, u := range w.cfg.AdUnits {
@@ -223,9 +223,8 @@ func (r *roundState) render(u AdUnit, uo *UnitOutcome, d slotDecision) {
 		})
 		if d.Channel == "hb" && uo.Winner != nil {
 			// Winner notification beacon with the charged price.
-			nurl := fmt.Sprintf("https://bid.%s/win?auction=%s&%s=%s&%s=%.4f",
-				bidderHost(w, uo.Winner.Bidder), uo.AuctionID,
-				hb.KeyBidder, uo.Winner.Bidder, hb.KeyPrice, uo.Winner.USDCPM())
+			nurl := winNURL(bidderHost(w, uo.Winner.Bidder), uo.AuctionID,
+				uo.Winner.Bidder, uo.Winner.USDCPM())
 			w.env.Fetch(&webreq.Request{
 				URL: nurl, Method: webreq.GET, Kind: webreq.KindBeacon, Sent: now,
 			}, func(*webreq.Response) {})
@@ -255,6 +254,26 @@ func bidderHost(w *Wrapper, bidder string) string {
 		return p.Host
 	}
 	return "unknown-partner.example"
+}
+
+// winNURL assembles the winner-notification URL
+// "https://bid.<host>/win?auction=<aid>&hb_bidder=<bidder>&hb_price=<cpm>"
+// (cpm fixed to 4 decimals, matching the %.4f wire form) without fmt.
+func winNURL(host, auctionID, bidder string, cpm float64) string {
+	b := make([]byte, 0, 64+len(host)+len(auctionID)+len(bidder))
+	b = append(b, "https://bid."...)
+	b = append(b, host...)
+	b = append(b, "/win?auction="...)
+	b = append(b, auctionID...)
+	b = append(b, '&')
+	b = append(b, hb.KeyBidder...)
+	b = append(b, '=')
+	b = append(b, bidder...)
+	b = append(b, '&')
+	b = append(b, hb.KeyPrice...)
+	b = append(b, '=')
+	b = strconv.AppendFloat(b, cpm, 'f', 4, 64)
+	return string(b)
 }
 
 // WaitBudget estimates how long a caller should let the page settle after

@@ -18,14 +18,13 @@
 package prebid
 
 import (
-	"fmt"
+	"strconv"
 	"time"
 
 	"headerbid/internal/events"
 	"headerbid/internal/hb"
 	"headerbid/internal/partners"
 	"headerbid/internal/rtb"
-	"headerbid/internal/urlkit"
 	"headerbid/internal/webreq"
 )
 
@@ -179,7 +178,7 @@ func (w *Wrapper) RequestBids(done func(*Result)) {
 	// Per-unit auction bookkeeping + events.
 	for _, u := range w.cfg.AdUnits {
 		w.auctionSeq++
-		aid := fmt.Sprintf("%s-a%d", w.cfg.Site, w.auctionSeq)
+		aid := appendID(w.cfg.Site, "-a", int64(w.auctionSeq))
 		uo := &UnitOutcome{AuctionID: aid, AdUnit: u.Code, Start: start}
 		round.units[u.Code] = uo
 		res.Units = append(res.Units, uo)
@@ -212,14 +211,13 @@ func (w *Wrapper) RequestBids(done func(*Result)) {
 }
 
 // collectBidders returns the distinct bidder codes across ad units, in
-// first-seen order.
+// first-seen order. Configs list at most a couple dozen bidders, so the
+// dedupe is a linear scan of the output instead of a throwaway set.
 func (w *Wrapper) collectBidders() []string {
-	seen := make(map[string]bool)
 	var out []string
 	for _, u := range w.cfg.AdUnits {
 		for _, b := range u.Bidders {
-			if !seen[b] {
-				seen[b] = true
+			if !contains(out, b) {
 				out = append(out, b)
 			}
 		}
@@ -248,16 +246,16 @@ func (w *Wrapper) sendBidRequest(round *roundState, bidder string, timeout time.
 		// Unknown adapter: prebid logs and skips. Nothing hits the wire.
 		return
 	}
-	var imps []rtb.Impression
-	var unitsForBidder []string
+	imps := make([]rtb.Impression, 0, len(w.cfg.AdUnits))
+	unitsForBidder := make([]string, 0, len(w.cfg.AdUnits))
 	for _, u := range w.cfg.AdUnits {
 		if !contains(u.Bidders, bidder) {
 			continue
 		}
 		unitsForBidder = append(unitsForBidder, u.Code)
-		var formats []rtb.Format
-		for _, s := range u.Sizes {
-			formats = append(formats, rtb.Format{W: s.W, H: s.H})
+		formats := make([]rtb.Format, len(u.Sizes))
+		for i, s := range u.Sizes {
+			formats[i] = rtb.Format{W: s.W, H: s.H}
 		}
 		imps = append(imps, rtb.Impression{
 			ID:       u.Code,
@@ -277,11 +275,11 @@ func (w *Wrapper) sendBidRequest(round *roundState, bidder string, timeout time.
 	round.pending[bidder] = true
 
 	req := &rtb.BidRequest{
-		ID:   fmt.Sprintf("%s-%s-%d", w.cfg.Site, bidder, now.UnixNano()),
+		ID:   bidRequestID(w.cfg.Site, bidder, now.UnixNano()),
 		Imp:  imps,
 		Site: rtb.Site{Domain: w.cfg.Site, Page: w.cfg.Page},
 		TMax: int(timeout / time.Millisecond),
-		Ext:  map[string]any{"prebid": map[string]any{"bidder": bidder}},
+		Ext:  prebidExt(bidder),
 	}
 	body, err := req.Encode()
 	if err != nil {
@@ -291,22 +289,24 @@ func (w *Wrapper) sendBidRequest(round *roundState, bidder string, timeout time.
 
 	for _, code := range unitsForBidder {
 		uo := round.units[code]
+		// The bidder already rides the event's Bidder field; the former
+		// Params copy duplicated it at one map allocation per unit.
 		w.emit(events.Event{
 			Type: events.BidRequested, Time: now, AuctionID: uo.AuctionID,
 			AdUnit: code, Bidder: bidder, Library: "prebid.js",
-			Params: map[string]string{hb.KeyBidderFull: bidder},
 		})
 	}
 
-	bidParams := map[string]string{hb.KeyBidderFull: bidder}
+	// URL and query view are pre-rendered per profile (they depend only
+	// on the bidder); the params map is shared and read-only.
 	httpReq := &webreq.Request{
-		URL:    urlkit.WithParams(profile.BidEndpoint(), bidParams),
+		URL:    profile.BidRequestURL(),
 		Method: webreq.POST,
 		Kind:   webreq.KindXHR,
 		Body:   string(body),
 		Sent:   now,
 	}
-	httpReq.PrefillParams(bidParams)
+	httpReq.PrefillParams(profile.BidRequestParams())
 	br := BidderResult{Bidder: bidder, Requested: now}
 	round.result.Bidders = append(round.result.Bidders, br)
 	idx := len(round.result.Bidders) - 1
@@ -331,7 +331,7 @@ func (w *Wrapper) onBidResponse(round *roundState, idx int, bidder string, units
 		if resp.Err != "" {
 			br.Error = resp.Err
 		} else {
-			br.Error = fmt.Sprintf("http %d", resp.Status)
+			br.Error = "http " + strconv.Itoa(resp.Status)
 		}
 		w.maybeEarlyFinalize(round)
 		return
@@ -376,7 +376,7 @@ func (w *Wrapper) onBidResponse(round *roundState, idx int, bidder string, units
 				Params: map[string]string{
 					hb.KeyBidder: bidder,
 					hb.KeySize:   bid.Size.String(),
-					"late":       fmt.Sprintf("%v", br.Late),
+					"late":       strconv.FormatBool(br.Late),
 				},
 			})
 		}
@@ -399,6 +399,31 @@ func contains(xs []string, x string) bool {
 		}
 	}
 	return false
+}
+
+// appendID renders "<prefix><sep><n>" (the auction-ID shape previously
+// minted with fmt.Sprintf on every ad unit of every visit): one strconv
+// format — allocation-free for the small sequence numbers involved —
+// plus a single string concatenation.
+func appendID(prefix, sep string, n int64) string {
+	return prefix + sep + strconv.FormatInt(n, 10)
+}
+
+// prebidExt renders the OpenRTB ext fragment {"prebid":{"bidder":"x"}}
+// directly; bidder slugs are plain ASCII identifiers, so no JSON
+// escaping is needed and the bytes match the former map encoding.
+func prebidExt(bidder string) []byte {
+	b := make([]byte, 0, len(bidder)+26)
+	b = append(b, `{"prebid":{"bidder":"`...)
+	b = append(b, bidder...)
+	b = append(b, `"}}`...)
+	return b
+}
+
+// bidRequestID renders "<site>-<bidder>-<unixnano>" with one strconv
+// format and a single four-operand concatenation.
+func bidRequestID(site, bidder string, nano int64) string {
+	return site + "-" + bidder + "-" + strconv.FormatInt(nano, 10)
 }
 
 func (w *Wrapper) emit(e events.Event) {

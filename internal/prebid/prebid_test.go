@@ -53,7 +53,15 @@ func bidderResponder(latencies map[string]time.Duration, cpms map[string]float64
 			if err := json.Unmarshal([]byte(req.Body), &breq); err != nil {
 				return time.Millisecond, &webreq.Response{Status: 400}
 			}
-			bidder := breq.Ext["prebid"].(map[string]any)["bidder"].(string)
+			var ext struct {
+				Prebid struct {
+					Bidder string `json:"bidder"`
+				} `json:"prebid"`
+			}
+			if err := json.Unmarshal(breq.Ext, &ext); err != nil {
+				return time.Millisecond, &webreq.Response{Status: 400}
+			}
+			bidder := ext.Prebid.Bidder
 			lat := latencies[bidder]
 			if lat == 0 {
 				lat = 100 * time.Millisecond

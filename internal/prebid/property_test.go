@@ -35,7 +35,13 @@ func randomizedResponder(seed int64) func(req *webreq.Request) (time.Duration, *
 			if err := json.Unmarshal([]byte(req.Body), &breq); err != nil {
 				return time.Millisecond, &webreq.Response{Status: 400}
 			}
-			bidder, _ := breq.Ext["prebid"].(map[string]any)["bidder"].(string)
+			var ext struct {
+				Prebid struct {
+					Bidder string `json:"bidder"`
+				} `json:"prebid"`
+			}
+			_ = json.Unmarshal(breq.Ext, &ext)
+			bidder := ext.Prebid.Bidder
 			r := stream("bid/" + bidder)
 			lat := time.Duration(r.UniformInt(20, 5000)) * time.Millisecond
 			resp := rtb.BidResponse{ID: breq.ID, Currency: "USD"}

@@ -10,7 +10,7 @@ package pubfood
 
 import (
 	"encoding/json"
-	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -108,7 +108,7 @@ func (l *Library) Start(done func(*Result)) {
 		sr := &SlotResult{Slot: s.Name}
 		bySlot[s.Name] = sr
 		res.Slots = append(res.Slots, sr)
-		aid := fmt.Sprintf("%s-pf%d", l.cfg.Site, i+1)
+		aid := l.cfg.Site + "-pf" + strconv.Itoa(i+1)
 		auctionIDs[s.Name] = aid
 		l.emit(events.Event{
 			Type: events.AuctionInit, Time: now, AuctionID: aid,
@@ -190,7 +190,7 @@ func (l *Library) sendBid(prof *partners.Profile, bySlot map[string]*SlotResult,
 		})
 	}
 	breq := rtb.BidRequest{
-		ID:   fmt.Sprintf("pf-%s-%d", prof.Slug, now.UnixNano()),
+		ID:   "pf-" + prof.Slug + "-" + strconv.FormatInt(now.UnixNano(), 10),
 		Imp:  imps,
 		Site: rtb.Site{Domain: l.cfg.Site},
 		TMax: int(l.cfg.Timeout() / time.Millisecond),

@@ -41,6 +41,11 @@ func New(seed int64) *Stream {
 	return s
 }
 
+// Reseed reinitializes the stream in place from seed, exactly as New
+// would. It exists so pooled owners (the crawler's per-worker simulated
+// network) can start a fresh deterministic stream without allocating.
+func (s *Stream) Reseed(seed int64) { s.reseed(uint64(seed)) }
+
 // reseed (re)initializes the generator state from a 64-bit key by running
 // splitmix64 four times — the canonical way to seed xoshiro, and the few
 // integer mixes that replaced math/rand's 607-iteration table build.
@@ -95,13 +100,10 @@ func (s *Stream) Derive(name string) *Stream {
 	return c
 }
 
-// Split derives an independent child stream identified by name.
-//
-// Deprecated: Split historically consumed parent state (one Int63 per
-// call), which made children dependent on derivation order. It is now an
-// alias for Derive, which is order-independent; new code should call
-// Derive (or SplitStable when only a base seed is at hand).
-func (s *Stream) Split(name string) *Stream { return s.Derive(name) }
+// NOTE: the deprecated Split alias (order-dependent derivation in its
+// original form, later an alias for Derive) has been removed; use Derive
+// on a stream, or SplitStable with a bare seed. The CI lint step fails
+// on any deprecated-API usage so a resurrection is caught loudly.
 
 // SplitStable derives a child stream from a base seed and a name without
 // consuming state from any parent. Use it when the set of children is

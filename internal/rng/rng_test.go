@@ -269,19 +269,16 @@ func TestDeriveIndependentOfParentDrawsAndSiblings(t *testing.T) {
 	}
 }
 
-func TestSplitIsStableAliasOfDerive(t *testing.T) {
-	// The deprecated Split must no longer consume parent state: two
-	// parents that split the same names in different orders agree.
+func TestDeriveOrderIndependentAcrossParents(t *testing.T) {
+	// Two parents deriving the same names in different orders agree
+	// (the property the removed Split alias was deprecated for lacking).
 	p1, p2 := New(7), New(7)
-	a1 := p1.Split("a").Float64()
-	_ = p1.Split("b")
-	_ = p2.Split("b")
-	a2 := p2.Split("a").Float64()
+	a1 := p1.Derive("a").Float64()
+	_ = p1.Derive("b")
+	_ = p2.Derive("b")
+	a2 := p2.Derive("a").Float64()
 	if a1 != a2 {
-		t.Fatal("Split children depend on derivation order")
-	}
-	if d := New(7).Derive("a").Float64(); d != a1 {
-		t.Fatal("Split and Derive disagree")
+		t.Fatal("Derive children depend on derivation order")
 	}
 }
 

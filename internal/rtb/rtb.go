@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"headerbid/internal/hb"
@@ -48,7 +49,11 @@ type BidRequest struct {
 	Test int          `json:"test,omitempty"`
 	// Ext carries wrapper-specific extras; prebid puts its bidder params
 	// here, which is one of the request signatures the detector keys on.
-	Ext map[string]any `json:"ext,omitempty"`
+	// It is a RawMessage rather than map[string]any: the wire bytes are
+	// identical, but encoding a pre-rendered fragment is a copy instead
+	// of a reflect-driven map sort, and decoding keeps it opaque instead
+	// of materializing nested maps on every simulated bid request.
+	Ext json.RawMessage `json:"ext,omitempty"`
 }
 
 // Site identifies the publisher page.
@@ -137,7 +142,7 @@ func NewExchange(partner string, n int, priceMedian, priceSigma float64, seed in
 	dsps := make([]DSP, n)
 	for i := range dsps {
 		dsps[i] = DSP{
-			Name:        fmt.Sprintf("%s-dsp%d", partner, i+1),
+			Name:        partner + "-dsp" + strconv.Itoa(i+1),
 			BidProb:     0.25 + 0.5*r.Float64(),
 			PriceMedian: priceMedian * (0.6 + 0.8*r.Float64()),
 			PriceSigma:  priceSigma,

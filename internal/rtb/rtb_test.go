@@ -176,13 +176,16 @@ func TestExchangeRunDeterminism(t *testing.T) {
 
 func TestBidRequestExtSurvivesJSON(t *testing.T) {
 	req := sampleRequest()
-	req.Ext = map[string]any{"prebid": map[string]any{"bidder": "rubicon"}}
+	req.Ext = json.RawMessage(`{"prebid":{"bidder":"rubicon"}}`)
 	blob, _ := req.Encode()
 	var back BidRequest
 	json.Unmarshal(blob, &back)
-	prebid, ok := back.Ext["prebid"].(map[string]any)
-	if !ok || prebid["bidder"] != "rubicon" {
-		t.Fatalf("ext lost: %+v", back.Ext)
+	var ext map[string]map[string]string
+	if err := json.Unmarshal(back.Ext, &ext); err != nil {
+		t.Fatalf("ext lost: %s (%v)", back.Ext, err)
+	}
+	if ext["prebid"]["bidder"] != "rubicon" {
+		t.Fatalf("ext lost: %s", back.Ext)
 	}
 }
 

@@ -7,7 +7,7 @@
 package simnet
 
 import (
-	"fmt"
+	"strconv"
 	"time"
 
 	"headerbid/internal/clock"
@@ -61,11 +61,12 @@ type Network struct {
 }
 
 // New creates a network on the given scheduler with the given seed.
+// The fault table is created on first Fault call: the crawler builds one
+// network per visit and almost never injects faults.
 func New(sched *clock.Scheduler, seed int64) *Network {
 	return &Network{
 		Sched:   sched,
-		hosts:   make(map[string]Handler),
-		faults:  make(map[string]FaultMode),
+		hosts:   make(map[string]Handler, 2),
 		rng:     rng.New(seed),
 		seed:    seed,
 		baseRTT: 30 * time.Millisecond,
@@ -77,6 +78,23 @@ func New(sched *clock.Scheduler, seed int64) *Network {
 // state built per network (per crawl visit) can derive independent but
 // reproducible randomness.
 func (n *Network) Seed() int64 { return n.seed }
+
+// Reset returns the network to the state New(sched, seed) would produce,
+// reusing the host and memoization tables' storage. The crawler pools
+// one network per worker and resets it between clean-slate visits; the
+// byte-identical-JSONL determinism suite is the proof no state survives
+// the reset.
+func (n *Network) Reset(seed int64) {
+	clear(n.hosts)
+	clear(n.resolved)
+	n.resolver = nil
+	n.faults = nil
+	n.rng.Reseed(seed)
+	n.seed = seed
+	n.baseRTT = 30 * time.Millisecond
+	n.jitter = 20 * time.Millisecond
+	n.Requests = 0
+}
 
 // SetRTT adjusts the base round-trip time and jitter of the network.
 func (n *Network) SetRTT(base, jitter time.Duration) {
@@ -101,7 +119,7 @@ func (n *Network) HandleFunc(host string, h func(req *webreq.Request) (int, stri
 // captured for the old one.
 func (n *Network) SetResolver(r Resolver) {
 	n.resolver = r
-	n.resolved = nil
+	clear(n.resolved) // storage is reused; the entries must not be
 }
 
 // lookup finds the handler for a registrable-domain key: the explicit
@@ -128,6 +146,9 @@ func (n *Network) lookup(key string) (Handler, bool) {
 
 // Fault installs a fault mode for a host.
 func (n *Network) Fault(host string, f FaultMode) {
+	if n.faults == nil {
+		n.faults = make(map[string]FaultMode, 4)
+	}
 	n.faults[hostKey(host)] = f
 }
 
@@ -162,11 +183,77 @@ func (e *Env) After(d time.Duration, fn func()) { e.net.Sched.After(d, fn) }
 // Post schedules fn as soon as possible.
 func (e *Env) Post(fn func()) { e.net.Sched.Post(fn) }
 
+// netCall is the state of one in-flight simulated fetch. The fetch
+// pipeline (arrive at server -> run handler -> deliver response) used to
+// be a chain of closures, two per request; the whole chain now rides one
+// struct through the scheduler's closure-free AfterCall path.
+type netCall struct {
+	net     *Network
+	handler Handler
+	req     *webreq.Request
+	cb      func(*webreq.Response) // plain callback (Fetch)
+	cfn     func(*webreq.Response, any)
+	carg    any // receiver-style callback (FetchCall)
+	rtt     time.Duration
+	resp    *webreq.Response // filled at the server, delivered at the page
+	err     string           // transport failure; delivered instead of a response
+}
+
+// finish hands the response to whichever callback form the caller used.
+func (nc *netCall) finish(resp *webreq.Response) {
+	if nc.cb != nil {
+		nc.cb(resp)
+		return
+	}
+	nc.cfn(resp, nc.carg)
+}
+
+// netCallArrive runs when the request reaches the server (after rtt/2):
+// the handler computes the response, and delivery is scheduled after the
+// service time plus the return half of the RTT.
+func netCallArrive(a any) {
+	nc := a.(*netCall)
+	status, body, service := nc.handler(nc.req)
+	if service < 0 {
+		service = 0
+	}
+	nc.resp = &webreq.Response{RequestID: nc.req.ID, Status: status, Body: body}
+	nc.net.Sched.AfterCall(service+nc.rtt/2, netCallDeliver, nc)
+}
+
+func netCallDeliver(a any) {
+	nc := a.(*netCall)
+	nc.finish(nc.resp)
+}
+
+// netCallFail delivers a transport-level error.
+func netCallFail(a any) {
+	nc := a.(*netCall)
+	nc.finish(&webreq.Response{RequestID: nc.req.ID, Err: nc.err})
+}
+
 // Fetch resolves the request's host, applies faults, runs the handler at
 // the server after half an RTT, and delivers the response after service
 // time plus the other half RTT. Unknown hosts fail like dead DNS.
 func (e *Env) Fetch(req *webreq.Request, cb func(*webreq.Response)) {
+	e.fetch(&netCall{net: e.net, req: req, cb: cb})
+}
+
+// FetchCall is Fetch with a receiver-style callback (fn(resp, arg)); it
+// implements the browser's closure-free CallFetcher capability.
+func (e *Env) FetchCall(req *webreq.Request, fn func(*webreq.Response, any), arg any) {
+	e.fetch(&netCall{net: e.net, req: req, cfn: fn, carg: arg})
+}
+
+// AfterCall schedules fn(arg) after d of virtual time (the browser's
+// closure-free CallScheduler capability).
+func (e *Env) AfterCall(d time.Duration, fn func(any), arg any) {
+	e.net.Sched.AfterCall(d, fn, arg)
+}
+
+func (e *Env) fetch(nc *netCall) {
 	n := e.net
+	req := nc.req
 	n.Requests++
 	host := req.Host()
 	key := req.RegistrableHost()
@@ -176,39 +263,30 @@ func (e *Env) Fetch(req *webreq.Request, cb func(*webreq.Response)) {
 	if n.jitter > 0 {
 		rtt += time.Duration(n.rng.Float64() * float64(n.jitter))
 	}
+	nc.rtt = rtt
 
 	fault, hasFault := n.faults[key]
 	if hasFault {
-		rtt += fault.ExtraLatency
+		nc.rtt += fault.ExtraLatency
 	}
 
 	if !ok {
 		// Unresolvable host: error after a DNS-ish delay.
-		n.Sched.After(rtt, func() {
-			cb(&webreq.Response{RequestID: req.ID, Err: fmt.Sprintf("no such host %q", host)})
-		})
+		nc.err = "no such host " + strconv.Quote(host)
+		n.Sched.AfterCall(nc.rtt, netCallFail, nc)
 		return
 	}
 	if hasFault && n.rng.Bool(fault.FailProb) {
-		errStr := fault.Err
-		if errStr == "" {
-			errStr = "connection reset"
+		nc.err = fault.Err
+		if nc.err == "" {
+			nc.err = "connection reset"
 		}
-		n.Sched.After(rtt, func() {
-			cb(&webreq.Response{RequestID: req.ID, Err: errStr})
-		})
+		n.Sched.AfterCall(nc.rtt, netCallFail, nc)
 		return
 	}
 
 	// Request reaches the server after rtt/2; handler computes the
 	// response and its service time; delivery lands rtt/2 after that.
-	n.Sched.After(rtt/2, func() {
-		status, body, service := handler(req)
-		if service < 0 {
-			service = 0
-		}
-		n.Sched.After(service+rtt/2, func() {
-			cb(&webreq.Response{RequestID: req.ID, Status: status, Body: body})
-		})
-	})
+	nc.handler = handler
+	n.Sched.AfterCall(nc.rtt/2, netCallArrive, nc)
 }

@@ -2,8 +2,8 @@ package sitegen
 
 import (
 	"encoding/json"
-	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -92,7 +92,6 @@ type Ecosystem struct {
 
 	mu        sync.Mutex
 	adServers map[string]*adserver.Server // per site domain
-	exchanges map[string]*rtb.Exchange    // per partner slug
 	streams   map[string]*rng.Stream      // per purpose
 }
 
@@ -141,17 +140,11 @@ func (e *Ecosystem) adServerFor(domain string) *adserver.Server {
 	return srv
 }
 
-// exchangeFor returns a partner's internal RTB exchange.
+// exchangeFor returns a partner's internal RTB exchange — shared across
+// visits via the world cache, since exchange construction depends only
+// on (world seed, profile) and Run is stateless over its stream.
 func (e *Ecosystem) exchangeFor(p *partners.Profile) *rtb.Exchange {
-	ex, ok := e.exchanges[p.Slug]
-	if !ok {
-		if e.exchanges == nil {
-			e.exchanges = make(map[string]*rtb.Exchange, 4)
-		}
-		ex = rtb.NewExchange(p.Slug, p.DSPCount, p.PriceMedianUSD, p.PriceSigma, e.World.Cfg.Seed)
-		e.exchanges[p.Slug] = ex
-	}
-	return ex
+	return e.World.ExchangeFor(p)
 }
 
 // ---------------------------------------------------------------------------
@@ -238,7 +231,7 @@ func (e *Ecosystem) handleBid(p *partners.Profile, req *webreq.Request) (int, st
 			Price: round4(cpm / usdRate), // quoted in the partner's currency
 			W:     size.W,
 			H:     size.H,
-			CrID:  fmt.Sprintf("%s-cr-%d", p.Slug, r.Intn(1_000_000)),
+			CrID:  creativeID(p.Slug, r.Intn(1_000_000)),
 		})
 	}
 	if len(seat.Bid) > 0 {
@@ -261,16 +254,7 @@ func (e *Ecosystem) handleHosted(p *partners.Profile, req *webreq.Request) (int,
 
 	service := p.SampleLatency(r)
 	var lines []string
-	for _, spec := range strings.Split(params["slots"], ",") {
-		parts := strings.Split(spec, "|")
-		if len(parts) != 2 {
-			continue
-		}
-		code := parts[0]
-		size, err := hb.ParseSize(parts[1])
-		if err != nil {
-			continue
-		}
+	forEachSlotSpec(params["slots"], func(code string, size hb.Size) {
 		// Each hosted slot triggers its own seat auction at the provider
 		// (Fig 20: more auctioned slots, higher latency).
 		service += time.Duration(18+r.Intn(30)) * time.Millisecond
@@ -288,7 +272,7 @@ func (e *Ecosystem) handleHosted(p *partners.Profile, req *webreq.Request) (int,
 				"slot": code, "size": size.String(), "channel": "hb",
 				hb.KeyBidder: winner, hb.KeyPriceBuck: hb.PriceBucket(cpm),
 				hb.KeySize: size.String(), hb.KeySource: "s2s",
-				hb.KeyPrice: fmt.Sprintf("%.4f", cpm),
+				hb.KeyPrice: fmt4(cpm),
 			})
 			line = code + "|hb|" + curl
 		} else {
@@ -301,7 +285,7 @@ func (e *Ecosystem) handleHosted(p *partners.Profile, req *webreq.Request) (int,
 			line += "|fail"
 		}
 		lines = append(lines, line)
-	}
+	})
 	return 200, strings.Join(lines, "\n"), service
 }
 
@@ -364,23 +348,16 @@ func (e *Ecosystem) handleGampad(p *partners.Profile, req *webreq.Request) (int,
 
 	srv := e.adServerFor("dfp/" + siteDomain)
 	var lines []string
-	for _, spec := range strings.Split(params["slots"], ",") {
-		parts := strings.Split(spec, "|")
-		if len(parts) != 2 {
-			continue
-		}
-		code := parts[0]
-		size, err := hb.ParseSize(parts[1])
-		if err != nil {
-			continue
-		}
+	forEachSlotSpec(params["slots"], func(code string, size hb.Size) {
 		service += time.Duration(float64(20+r.Intn(35))/infra) * time.Millisecond
 
 		// Client-side HB candidate from per-slot targeting.
 		clientBidder := params[hb.KeyBidder+"."+code]
 		clientCPM := 0.0
 		if pb := params[hb.KeyPriceBuck+"."+code]; pb != "" {
-			fmt.Sscanf(pb, "%f", &clientCPM)
+			if f, err := strconv.ParseFloat(pb, 64); err == nil {
+				clientCPM = f
+			}
 		}
 
 		// Server-side candidate from DFP's exchange.
@@ -406,7 +383,7 @@ func (e *Ecosystem) handleGampad(p *partners.Profile, req *webreq.Request) (int,
 				"slot": code, "size": size.String(), "channel": "hb",
 				hb.KeyBidder: ssBidder, hb.KeyPriceBuck: hb.PriceBucket(ssCPM),
 				hb.KeySize: size.String(), hb.KeySource: "s2s",
-				hb.KeyPrice: fmt.Sprintf("%.4f", ssCPM),
+				hb.KeyPrice: fmt4(ssCPM),
 			})
 			line = code + "|hb|" + curl
 		case dec.Channel == "direct":
@@ -425,7 +402,7 @@ func (e *Ecosystem) handleGampad(p *partners.Profile, req *webreq.Request) (int,
 			line += "|fail"
 		}
 		lines = append(lines, line)
-	}
+	})
 	_ = p
 	return 200, strings.Join(lines, "\n"), service
 }
@@ -460,16 +437,7 @@ func (e *Ecosystem) handleClientAdServer(s *Site, req *webreq.Request) (int, str
 
 	service := time.Duration(float64(25+r.Intn(35))/s.InfraQuality) * time.Millisecond
 	var lines []string
-	for _, spec := range strings.Split(params["slots"], ",") {
-		parts := strings.Split(spec, "|")
-		if len(parts) != 2 {
-			continue
-		}
-		code := parts[0]
-		size, err := hb.ParseSize(parts[1])
-		if err != nil {
-			continue
-		}
+	forEachSlotSpec(params["slots"], func(code string, size hb.Size) {
 		service += time.Duration(float64(12+r.Intn(20))/s.InfraQuality) * time.Millisecond
 
 		t := hb.Targeting{}
@@ -493,7 +461,7 @@ func (e *Ecosystem) handleClientAdServer(s *Site, req *webreq.Request) (int, str
 			})
 		case "unfilled":
 			lines = append(lines, code+"|unfilled|")
-			continue
+			return
 		default:
 			curl = creativeURL(map[string]string{
 				"slot": code, "size": size.String(), "channel": dec.Channel,
@@ -505,7 +473,7 @@ func (e *Ecosystem) handleClientAdServer(s *Site, req *webreq.Request) (int, str
 			line += "|fail"
 		}
 		lines = append(lines, line)
-	}
+	})
 	return 200, strings.Join(lines, "\n"), service
 }
 
@@ -533,6 +501,38 @@ func creativeURL(params map[string]string) string {
 }
 
 func round4(x float64) float64 { return math.Round(x*10000) / 10000 }
+
+// fmt4 renders a CPM with four decimals (the %.4f wire form).
+func fmt4(x float64) string { return strconv.FormatFloat(x, 'f', 4, 64) }
+
+// creativeID renders "<slug>-cr-<n>" without fmt.
+func creativeID(slug string, n int) string {
+	b := make([]byte, 0, len(slug)+12)
+	b = append(b, slug...)
+	b = append(b, "-cr-"...)
+	b = strconv.AppendInt(b, int64(n), 10)
+	return string(b)
+}
+
+// forEachSlotSpec iterates a "code|WxH,code|WxH,..." slots parameter
+// without allocating the intermediate slices strings.Split produced on
+// every ad request; specs that are not exactly "code|size" with a valid
+// size are skipped, exactly as before.
+func forEachSlotSpec(s string, fn func(code string, size hb.Size)) {
+	for s != "" {
+		var spec string
+		spec, s, _ = strings.Cut(s, ",")
+		code, sizeStr, ok := strings.Cut(spec, "|")
+		if !ok || strings.IndexByte(sizeStr, '|') >= 0 {
+			continue
+		}
+		size, err := hb.ParseSize(sizeStr)
+		if err != nil {
+			continue
+		}
+		fn(code, size)
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Simulated-network installation

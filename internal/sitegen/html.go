@@ -19,12 +19,21 @@ const (
 	JQueryCDN  = "https://cdn.static.example/jquery.min.js"
 )
 
-// PageHTML renders a site's homepage: head scripts (analytics noise, HB
-// library includes, inline wrapper config) plus body slot divs. Non-HB
-// pages get ordinary scripts only; a small fraction get "trap" markup that
-// names an HB library without executing one — the static-analysis false
-// positives the paper warns about (§3.1).
+// PageHTML returns a site's homepage, rendered once per site and cached:
+// the markup is a pure function of (world seed, site), and the document
+// handler used to rebuild it — inline-config JSON marshal included — on
+// every visit of every crawl day.
 func (w *World) PageHTML(s *Site) string {
+	s.htmlOnce.Do(func() { s.html = w.renderPageHTML(s) })
+	return s.html
+}
+
+// renderPageHTML renders a site's homepage: head scripts (analytics
+// noise, HB library includes, inline wrapper config) plus body slot divs.
+// Non-HB pages get ordinary scripts only; a small fraction get "trap"
+// markup that names an HB library without executing one — the
+// static-analysis false positives the paper warns about (§3.1).
+func (w *World) renderPageHTML(s *Site) string {
 	r := rng.SplitStable(w.Cfg.Seed, "html/"+s.Domain)
 	var head strings.Builder
 	head.WriteString("<title>" + s.Domain + "</title>\n")

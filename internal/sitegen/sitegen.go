@@ -21,6 +21,7 @@ import (
 	"headerbid/internal/partners"
 	"headerbid/internal/prebid"
 	"headerbid/internal/rng"
+	"headerbid/internal/rtb"
 )
 
 // Config tunes world generation. The zero value is invalid; use
@@ -112,6 +113,11 @@ type Site struct {
 	InfraQuality float64
 	// RenderFailProb per slot.
 	RenderFailProb float64
+
+	// html caches the rendered homepage (see World.PageHTML); it is a
+	// pure function of the site, and crawls re-visit sites daily.
+	htmlOnce sync.Once
+	html     string
 }
 
 // PageURL returns the canonical page URL the crawler visits.
@@ -145,6 +151,30 @@ type World struct {
 	// its ecosystem to (see sharedHandlers in handlers.go).
 	sharedOnce sync.Once
 	shared     map[string]sharedHandler
+
+	// exchanges caches each partner's internal RTB exchange. An exchange
+	// is a pure function of (world seed, partner profile) and is
+	// stateless at run time (all randomness flows through the caller's
+	// stream), so one instance serves every visit; rebuilding it per
+	// (visit, partner) was a top-10 crawl allocation.
+	exchMu    sync.Mutex
+	exchanges map[string]*rtb.Exchange
+}
+
+// ExchangeFor returns the partner's internal RTB exchange, built once
+// per world.
+func (w *World) ExchangeFor(p *partners.Profile) *rtb.Exchange {
+	w.exchMu.Lock()
+	defer w.exchMu.Unlock()
+	ex, ok := w.exchanges[p.Slug]
+	if !ok {
+		if w.exchanges == nil {
+			w.exchanges = make(map[string]*rtb.Exchange, 16)
+		}
+		ex = rtb.NewExchange(p.Slug, p.DSPCount, p.PriceMedianUSD, p.PriceSigma, w.Cfg.Seed)
+		w.exchanges[p.Slug] = ex
+	}
+	return ex
 }
 
 // Generate builds a world deterministically from cfg.

@@ -2,10 +2,17 @@
 // query-parameter scanning for HB-specific keys, registrable-domain
 // extraction (a simplified public-suffix view, sufficient for matching
 // demand-partner endpoints), and host normalization.
+//
+// The helpers here sit on the crawl's per-request hot path (every hop of
+// every simulated request parses a host or a query), so each has a
+// hand-rolled fast path that avoids net/url's allocation cost for the
+// clean absolute URLs the simulation mints; anything unusual falls back
+// to net/url so the semantics stay exactly the standard library's.
 package urlkit
 
 import (
 	"net/url"
+	"sort"
 	"strings"
 )
 
@@ -25,6 +32,26 @@ var multiLabelSuffixes = map[string]bool{
 // Host returns the lower-cased host (without port) of a raw URL, or ""
 // when the URL cannot be parsed.
 func Host(raw string) string {
+	// Fast path: a plain absolute URL ("scheme://host[:port]/..."). The
+	// host substring is returned without allocating unless it needs
+	// lower-casing. Anything the strict byte check below does not accept
+	// (userinfo, IPv6 literals, escapes, spaces, a non-numeric port, a
+	// second colon, ...) falls through to net/url so the semantics —
+	// including its rejections — stay exactly the standard library's.
+	if i := strings.Index(raw, "://"); i > 0 && isPlainScheme(raw[:i]) && !hasControlByte(raw) {
+		rest := raw[i+3:]
+		end := len(rest)
+		for j := 0; j < len(rest); j++ {
+			c := rest[j]
+			if c == '/' || c == '?' || c == '#' {
+				end = j
+				break
+			}
+		}
+		if host, ok := plainHostPort(rest[:end]); ok {
+			return lowerASCII(host)
+		}
+	}
 	u, err := url.Parse(raw)
 	if err != nil {
 		return ""
@@ -32,47 +59,149 @@ func Host(raw string) string {
 	return strings.ToLower(u.Hostname())
 }
 
+// plainHostPort strips an optional numeric port from a "host[:port]"
+// authority and reports whether every hostname byte is an ordinary
+// registered-name character (letters, digits, '.', '-', '_'). Anything
+// else — including the characters net/url rejects with an error — must
+// take the slow path.
+func plainHostPort(s string) (host string, ok bool) {
+	host = s
+	if j := strings.IndexByte(s, ':'); j >= 0 {
+		host = s[:j]
+		port := s[j+1:]
+		for k := 0; k < len(port); k++ {
+			if port[k] < '0' || port[k] > '9' {
+				return "", false
+			}
+		}
+	}
+	for k := 0; k < len(host); k++ {
+		c := host[k]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z',
+			'0' <= c && c <= '9', c == '.', c == '-', c == '_':
+		default:
+			return "", false
+		}
+	}
+	return host, true
+}
+
+// isPlainScheme reports whether s looks like an ordinary URL scheme
+// (letters only — covers http/https, which is all the simulation mints).
+func isPlainScheme(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('a' <= c && c <= 'z' || 'A' <= c && c <= 'Z') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// isLowerScheme is isPlainScheme restricted to lower-case (the form
+// url.URL.String would emit unchanged).
+func isLowerScheme(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 'a' || c > 'z' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// isCleanPathBytes reports whether every byte of an authority+path
+// string is one net/url's String would pass through unescaped (the
+// unreserved and path sub-delim sets). Anything else — '?', '#', '%',
+// spaces, controls, non-ASCII — disqualifies the fast path.
+func isCleanPathBytes(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+		case c == '-' || c == '.' || c == '_' || c == '~' || c == '/' ||
+			c == ':' || c == '@' || c == '$' || c == '&' || c == '+' ||
+			c == ',' || c == ';' || c == '=' || c == '!' || c == '\'' ||
+			c == '(' || c == ')' || c == '*':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// LowerASCII lower-cases s, allocating only when it contains upper-case
+// ASCII or non-ASCII bytes (generated hosts and wrapper-emitted keys are
+// already lower-case). Shared by the host normalization here and the
+// hb-targeting key matching.
+func LowerASCII(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; 'A' <= c && c <= 'Z' || c >= 0x80 {
+			return strings.ToLower(s)
+		}
+	}
+	return s
+}
+
+func lowerASCII(s string) string { return LowerASCII(s) }
+
 // RegistrableDomain reduces a hostname to its registrable domain
 // (eTLD+1): "prebid.adnxs.com" -> "adnxs.com", "x.y.co.uk" -> "y.co.uk".
 // IP literals and single-label hosts are returned unchanged.
 func RegistrableDomain(host string) string {
-	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	host = lowerASCII(strings.TrimSuffix(host, "."))
 	if host == "" || strings.Contains(host, ":") {
 		return host
 	}
-	labels := strings.Split(host, ".")
-	if len(labels) <= 2 {
-		return host
-	}
-	// Numeric IPv4?
-	if isIPv4(labels) {
-		return host
-	}
-	tail2 := strings.Join(labels[len(labels)-2:], ".")
-	if multiLabelSuffixes[tail2] {
-		if len(labels) < 3 {
-			return host
+	// Scan label boundaries from the right instead of materializing a
+	// label slice: dot3 < dot2 are the second- and third-from-last dots.
+	dot2, dot3 := -1, -1
+	dots := 0
+	for i := len(host) - 1; i >= 0; i-- {
+		if host[i] != '.' {
+			continue
 		}
-		return strings.Join(labels[len(labels)-3:], ".")
+		dots++
+		switch dots {
+		case 2:
+			dot2 = i
+		case 3:
+			dot3 = i
+		}
+	}
+	if dots <= 1 { // one or two labels
+		return host
+	}
+	if dots == 3 && isIPv4(host) {
+		return host
+	}
+	tail2 := host[dot2+1:]
+	if multiLabelSuffixes[tail2] {
+		return host[dot3+1:] // dot3 == -1 when exactly three labels
 	}
 	return tail2
 }
 
-func isIPv4(labels []string) bool {
-	if len(labels) != 4 {
-		return false
-	}
-	for _, l := range labels {
-		if l == "" || len(l) > 3 {
-			return false
-		}
-		for _, c := range l {
-			if c < '0' || c > '9' {
+func isIPv4(host string) bool {
+	run := 0
+	for i := 0; i < len(host); i++ {
+		c := host[i]
+		switch {
+		case c == '.':
+			if run == 0 {
 				return false
 			}
+			run = 0
+		case c >= '0' && c <= '9':
+			run++
+			if run > 3 {
+				return false
+			}
+		default:
+			return false
 		}
 	}
-	return true
+	return run > 0
 }
 
 // SameRegistrableDomain reports whether two hosts share a registrable
@@ -86,23 +215,105 @@ func SameRegistrableDomain(a, b string) bool {
 // key->first-value map. Parsing is tolerant: a malformed query yields the
 // parameters that could be recovered.
 func QueryParams(raw string) map[string]string {
-	u, err := url.Parse(raw)
-	if err != nil {
+	// Control characters make url.Parse fail wherever they appear, and
+	// a failed parse yields nil; short-circuit them exactly.
+	if hasControlByte(raw) {
 		return nil
 	}
-	vals, err := url.ParseQuery(u.RawQuery)
-	if err != nil && len(vals) == 0 {
-		return nil
+	// Locate the query without parsing the whole URL: the fragment is
+	// stripped first, exactly as net/url does, so a '?' inside the
+	// fragment ("#/route?x=y") is not mistaken for a query. The fast
+	// path applies only to absolute URLs whose authority passes the
+	// strict byte check; anything unusual — including URLs net/url
+	// rejects outright — takes the net/url slow path so its semantics
+	// (a nil result on parse error) are preserved exactly.
+	pre := raw
+	if i := strings.IndexByte(pre, '#'); i >= 0 {
+		pre = pre[:i]
 	}
-	out := make(map[string]string, len(vals))
-	for k, v := range vals {
-		if len(v) > 0 {
-			out[k] = v[0]
-		} else {
-			out[k] = ""
+	q := ""
+	if i := strings.IndexByte(pre, '?'); i >= 0 {
+		q = pre[i+1:]
+		pre = pre[:i]
+	}
+	fast := false
+	if i := strings.Index(pre, "://"); i > 0 && isPlainScheme(pre[:i]) {
+		rest := pre[i+3:]
+		end := len(rest)
+		if j := strings.IndexByte(rest, '/'); j >= 0 {
+			end = j
+		}
+		_, fast = plainHostPort(rest[:end])
+	}
+	if !fast {
+		u, err := url.Parse(raw)
+		if err != nil {
+			return nil
+		}
+		q = u.RawQuery
+	}
+	if q == "" {
+		return map[string]string{}
+	}
+	out := make(map[string]string, 8)
+	sawErr := false
+	for q != "" {
+		var pair string
+		pair, q, _ = strings.Cut(q, "&")
+		if pair == "" {
+			continue
+		}
+		if strings.IndexByte(pair, ';') >= 0 {
+			// net/url rejects semicolon separators; drop the pair like
+			// ParseQuery drops invalid pairs.
+			sawErr = true
+			continue
+		}
+		k, v, _ := strings.Cut(pair, "=")
+		k, okK := unescapeComponent(k)
+		if !okK {
+			sawErr = true
+			continue
+		}
+		v, okV := unescapeComponent(v)
+		if !okV {
+			sawErr = true
+			continue
+		}
+		if _, dup := out[k]; !dup { // first value wins, like v[0]
+			out[k] = v
 		}
 	}
+	if sawErr && len(out) == 0 {
+		// ParseQuery returns (empty, err) when nothing was recovered,
+		// which the nil-on-failure contract maps to nil.
+		return nil
+	}
 	return out
+}
+
+// hasControlByte reports whether s contains an ASCII control character
+// (the bytes net/url rejects anywhere in a URL).
+func hasControlByte(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x20 || s[i] == 0x7f {
+			return true
+		}
+	}
+	return false
+}
+
+// unescapeComponent is url.QueryUnescape with a zero-alloc fast path for
+// components containing no escapes.
+func unescapeComponent(s string) (string, bool) {
+	if strings.IndexByte(s, '%') < 0 && strings.IndexByte(s, '+') < 0 {
+		return s, true
+	}
+	u, err := url.QueryUnescape(s)
+	if err != nil {
+		return "", false
+	}
+	return u, true
 }
 
 // HasAnyParam reports whether the raw URL's query contains any of the
@@ -129,6 +340,19 @@ func HasAnyParam(raw string, keys []string) bool {
 // preserving any existing query. Parameters are encoded deterministically
 // (sorted by key) so generated URLs are stable across runs.
 func WithParams(base string, params map[string]string) string {
+	// Fast path: a clean absolute base with no query/fragment and nothing
+	// net/url would re-normalize — a lower-case scheme (url.URL.String
+	// lower-cases schemes) and only bytes url.String leaves untouched in
+	// the authority and path. The output is byte-identical to the
+	// net/url path (url.Values.Encode sorts keys and escapes with
+	// QueryEscape) without allocating a Values map per call.
+	if i := strings.Index(base, "://"); i > 0 && isLowerScheme(base[:i]) &&
+		isCleanPathBytes(base[i+3:]) && strings.IndexByte(base[i+3:], '/') >= 0 {
+		if len(params) == 0 {
+			return base
+		}
+		return base + "?" + encodeSorted(params)
+	}
 	u, err := url.Parse(base)
 	if err != nil {
 		return base
@@ -139,4 +363,27 @@ func WithParams(base string, params map[string]string) string {
 	}
 	u.RawQuery = q.Encode() // Encode sorts keys.
 	return u.String()
+}
+
+// encodeSorted renders params exactly like url.Values.Encode: keys
+// sorted, each key and value query-escaped.
+func encodeSorted(params map[string]string) string {
+	keys := make([]string, 0, len(params))
+	size := 0
+	for k, v := range params {
+		keys = append(keys, k)
+		size += len(k) + len(v) + 2
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.Grow(size)
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte('&')
+		}
+		sb.WriteString(url.QueryEscape(k))
+		sb.WriteByte('=')
+		sb.WriteString(url.QueryEscape(params[k]))
+	}
+	return sb.String()
 }

@@ -8,7 +8,6 @@
 package usersync
 
 import (
-	"fmt"
 	"time"
 
 	"headerbid/internal/partners"
@@ -102,7 +101,7 @@ func (s *Syncer) Run(done func(*Result)) {
 // partner (cookie matching between exchanges).
 func (s *Syncer) firePixel(p *partners.Profile, depth int, pending *int, res *Result, finish func()) {
 	res.PixelsFired++
-	uid := fmt.Sprintf("sim-%08x", s.rng.Int63()&0xffffffff)
+	uid := syncUID(uint32(s.rng.Int63() & 0xffffffff))
 	pixelParams := map[string]string{"uid": uid, "site": s.cfg.Site}
 	req := &webreq.Request{
 		URL:    urlkit.WithParams(p.SyncEndpoint(), pixelParams),
@@ -133,4 +132,17 @@ func (s *Syncer) randomOtherPartner(exclude string) *partners.Profile {
 		}
 	}
 	return nil
+}
+
+// syncUID renders "sim-" plus the zero-padded 8-hex-digit id (the
+// %08x wire form) without fmt.
+func syncUID(v uint32) string {
+	const hex = "0123456789abcdef"
+	var b [12]byte
+	copy(b[:], "sim-")
+	for i := 0; i < 8; i++ {
+		b[11-i] = hex[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
 }

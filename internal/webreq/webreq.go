@@ -155,13 +155,24 @@ type (
 // fan-out order), so notifying them is a plain iteration — the previous
 // map-plus-sort registry allocated a sorted ID slice on every request of
 // every visit.
+//
+// Exchanges are stored by value in one dense slice indexed by request ID
+// (the browser mints IDs 1,2,3,... from NextID, so ID-1 is the slice
+// index). The previous map[int64]*Exchange paid one Exchange allocation
+// plus map growth on every request of every visit. Requests recorded
+// with out-of-band IDs (tests driving SawRequest directly) spill into a
+// small overflow map, keeping the external behavior identical.
 type Inspector struct {
 	nextID    int64
 	reqHooks  []registeredReqHook
 	respHooks []registeredRespHook
 	hookSeq   int
-	exchanges map[int64]*Exchange
-	order     []int64
+	exchanges []Exchange          // exchanges[i] has Request.ID == i+1
+	overflow  map[int64]*Exchange // non-sequential IDs only
+	// order is the recording order by ID. It stays nil while every
+	// request is sequential (the dense slice IS the order) and is
+	// materialized only when an out-of-band ID first appears.
+	order []int64
 }
 
 type registeredReqHook struct {
@@ -176,9 +187,7 @@ type registeredRespHook struct {
 
 // NewInspector returns an empty inspector.
 func NewInspector() *Inspector {
-	return &Inspector{
-		exchanges: make(map[int64]*Exchange),
-	}
+	return &Inspector{}
 }
 
 // OnRequest registers a request hook and returns a cancel func. Cancel
@@ -226,8 +235,28 @@ func (in *Inspector) SawRequest(req *Request) {
 	if req.ID == 0 {
 		req.ID = in.NextID()
 	}
-	in.exchanges[req.ID] = &Exchange{Request: req}
-	in.order = append(in.order, req.ID)
+	switch {
+	case req.ID == int64(len(in.exchanges))+1:
+		// The browser's sequential-ID fast path: record in place.
+		in.exchanges = append(in.exchanges, Exchange{Request: req})
+		if in.order != nil {
+			in.order = append(in.order, req.ID)
+		}
+	case req.ID >= 1 && req.ID <= int64(len(in.exchanges)):
+		// Re-recorded ID: last write wins, as with the former map. The
+		// ID appears in the order twice, both resolving to the latest
+		// exchange — exactly the old iteration behavior.
+		in.exchanges[req.ID-1] = Exchange{Request: req}
+		in.materializeOrder()
+		in.order = append(in.order, req.ID)
+	default:
+		if in.overflow == nil {
+			in.overflow = make(map[int64]*Exchange, 4)
+		}
+		in.materializeOrder()
+		in.overflow[req.ID] = &Exchange{Request: req}
+		in.order = append(in.order, req.ID)
+	}
 	for _, h := range in.reqHooks {
 		if h.fn != nil {
 			h.fn(req)
@@ -235,12 +264,32 @@ func (in *Inspector) SawRequest(req *Request) {
 	}
 }
 
+// materializeOrder builds the explicit recording order kept implicitly
+// by the dense slice, on the first non-sequential recording.
+func (in *Inspector) materializeOrder() {
+	if in.order != nil {
+		return
+	}
+	in.order = make([]int64, len(in.exchanges), len(in.exchanges)+4)
+	for i := range in.exchanges {
+		in.order[i] = int64(i) + 1
+	}
+}
+
+// lookup returns the recorded exchange for a request ID, or nil.
+func (in *Inspector) lookup(id int64) *Exchange {
+	if id >= 1 && id <= int64(len(in.exchanges)) {
+		return &in.exchanges[id-1]
+	}
+	return in.overflow[id]
+}
+
 // SawResponse records resp against its request and notifies response
 // hooks. Responses for unknown request IDs are ignored (the page may have
 // been torn down).
 func (in *Inspector) SawResponse(resp *Response) {
-	x, ok := in.exchanges[resp.RequestID]
-	if !ok {
+	x := in.lookup(resp.RequestID)
+	if x == nil {
 		return
 	}
 	x.Response = resp
@@ -253,9 +302,14 @@ func (in *Inspector) SawResponse(resp *Response) {
 
 // Exchanges returns all exchanges in request order.
 func (in *Inspector) Exchanges() []Exchange {
+	if in.order == nil {
+		out := make([]Exchange, len(in.exchanges))
+		copy(out, in.exchanges)
+		return out
+	}
 	out := make([]Exchange, 0, len(in.order))
 	for _, id := range in.order {
-		out = append(out, *in.exchanges[id])
+		out = append(out, *in.lookup(id))
 	}
 	return out
 }
@@ -263,8 +317,16 @@ func (in *Inspector) Exchanges() []Exchange {
 // Pending returns the number of requests still awaiting a response.
 func (in *Inspector) Pending() int {
 	n := 0
+	if in.order == nil {
+		for i := range in.exchanges {
+			if in.exchanges[i].Response == nil {
+				n++
+			}
+		}
+		return n
+	}
 	for _, id := range in.order {
-		if in.exchanges[id].Response == nil {
+		if in.lookup(id).Response == nil {
 			n++
 		}
 	}
@@ -276,8 +338,17 @@ func (in *Inspector) Pending() int {
 // "apply the HB partner list" operation from Figure 3 of the paper.
 func (in *Inspector) MatchHosts(domains map[string]bool) []Exchange {
 	var out []Exchange
+	if in.order == nil {
+		for i := range in.exchanges {
+			x := &in.exchanges[i]
+			if domains[x.Request.RegistrableHost()] {
+				out = append(out, *x)
+			}
+		}
+		return out
+	}
 	for _, id := range in.order {
-		x := in.exchanges[id]
+		x := in.lookup(id)
 		if domains[x.Request.RegistrableHost()] {
 			out = append(out, *x)
 		}

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# bench_gate.sh — CI crawl-benchmark smoke + allocation ceiling.
+#
+# Runs the crawl-throughput gate once (fails loudly if the crawl path
+# breaks) and enforces the committed allocs/visit ceiling: a change that
+# regresses per-visit allocation past MAX_ALLOCS fails CI even before
+# anyone reads profile numbers. PERF.md records the measured numbers the
+# ceiling is derived from.
+set -e
+
+MAX_ALLOCS=${MAX_ALLOCS:-200}
+
+out=$(go test -run '^$' -bench Crawl_EndToEnd -benchtime 1x .)
+echo "$out"
+
+allocs=$(echo "$out" | awk '/BenchmarkCrawl_EndToEnd/ {
+    for (i = 1; i <= NF; i++) if ($i == "allocs/visit") print $(i-1)
+}')
+if [ -z "$allocs" ]; then
+    echo "bench gate: allocs/visit metric not found in benchmark output" >&2
+    exit 1
+fi
+if ! awk -v a="$allocs" -v max="$MAX_ALLOCS" 'BEGIN { exit !(a <= max) }'; then
+    echo "bench gate: allocs/visit $allocs exceeds ceiling $MAX_ALLOCS" >&2
+    exit 1
+fi
+echo "bench gate: allocs/visit $allocs <= $MAX_ALLOCS"

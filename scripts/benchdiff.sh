@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# benchdiff.sh <baseline> <current> — minimal benchstat stand-in.
+#
+# Compares the BenchmarkCrawl_EndToEnd metric pairs (ns/op, sites/sec,
+# ns/visit, allocs/visit, B/op, allocs/op) between two `go test -bench`
+# outputs and prints per-metric deltas. `make benchstat` uses the real
+# benchstat tool when it is installed and falls back to this script when
+# it is not, so the baseline diff works on a bare toolchain.
+set -e
+
+base=$1
+new=$2
+if [ -z "$base" ] || [ -z "$new" ]; then
+    echo "usage: benchdiff.sh <baseline-file> <current-file>" >&2
+    exit 2
+fi
+
+metrics() {
+    awk '/^BenchmarkCrawl_EndToEnd/ {
+        for (i = 3; i < NF; i += 2) print $(i+1), $i
+    }' "$1" | sort
+}
+
+tmpbase=$(mktemp)
+tmpnew=$(mktemp)
+trap 'rm -f "$tmpbase" "$tmpnew"' EXIT
+metrics "$base" >"$tmpbase"
+metrics "$new" >"$tmpnew"
+
+printf '%-14s %14s %14s %9s\n' metric baseline current delta
+join "$tmpbase" "$tmpnew" | awk '{
+    d = ($2 == 0) ? 0 : ($3 - $2) / $2 * 100
+    printf "%-14s %14s %14s %+8.1f%%\n", $1, $2, $3, d
+}'
