@@ -4,9 +4,14 @@
 // Alexa list. Memory stays flat no matter the crawl size, and Ctrl-C
 // stops the crawl promptly (whatever was already written stays valid).
 //
+// With -report the full figure report is rendered from the same run via
+// the streaming metrics API (accumulated per worker off the emit path) —
+// no second pass over the dataset and no record retention.
+//
 // Usage:
 //
 //	hbcrawl -sites 35000 -days 1 -seed 1 -o crawl.jsonl
+//	hbcrawl -sites 35000 -o crawl.jsonl -report
 package main
 
 import (
@@ -30,6 +35,7 @@ func main() {
 		out     = flag.String("o", "crawl.jsonl", "output JSONL path ('-' for stdout)")
 		workers = flag.Int("workers", 0, "crawl parallelism (0 = NumCPU)")
 		quiet   = flag.Bool("q", false, "suppress progress output")
+		rep     = flag.Bool("report", false, "render the full figure report from the live run (to stdout, or stderr when -o -)")
 	)
 	flag.Parse()
 
@@ -72,13 +78,21 @@ func main() {
 	if *workers > 0 {
 		opts = append(opts, headerbid.WithWorkers(*workers))
 	}
+	var fr *headerbid.FigureReport
+	if *rep {
+		fr = headerbid.NewFigureReport()
+		opts = append(opts, headerbid.WithMetrics(fr))
+	}
 
 	res, err := headerbid.NewExperiment(opts...).Run(ctx)
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
 	}
 	if errors.Is(err, context.Canceled) {
-		log.Printf("interrupted after %d visits; partial dataset flushed", res.Stats.Visits)
+		// Count what the dataset actually holds: metrics fold completed
+		// in-flight visits that were never emitted, so res.Stats may run
+		// a few visits ahead of the flushed JSONL.
+		log.Printf("interrupted after %d visits; partial dataset flushed", jsonl.Count())
 		os.Exit(130)
 	}
 	if err != nil {
@@ -95,5 +109,14 @@ func main() {
 	}
 	if *out != "-" {
 		log.Printf("dataset written to %s (%d records)", *out, jsonl.Count())
+	}
+
+	if fr != nil {
+		// The JSONL stream owns stdout when writing to '-'.
+		dst := os.Stdout
+		if *out == "-" {
+			dst = os.Stderr
+		}
+		fr.Render(dst)
 	}
 }

@@ -1,8 +1,12 @@
 // Command hbreport regenerates every dataset-derived table and figure of
 // the paper from a crawl dataset (see cmd/hbcrawl), printing the same
-// rows the paper reports. With -summary it streams only the Table-1
-// roll-up, never holding more than one record in memory — usable on
-// datasets far larger than RAM.
+// rows the paper reports. The dataset is streamed record by record into
+// the figure-report metric — no record slice is ever materialized;
+// memory is bounded by aggregate metric state (distinct sites and
+// partners, plus the per-figure sample reservoirs: a few floats per HB
+// observation), a small fraction of the dataset itself, so it is usable
+// on datasets far larger than RAM. With -summary only the Table-1
+// roll-up (no sample reservoirs at all) is printed.
 //
 // Usage:
 //
@@ -23,7 +27,7 @@ import (
 func main() {
 	var (
 		in      = flag.String("i", "crawl.jsonl", "input JSONL dataset ('-' for stdin)")
-		summary = flag.Bool("summary", false, "print only the Table-1 summary, streaming in O(1) record memory")
+		summary = flag.Bool("summary", false, "print only the Table-1 summary")
 	)
 	flag.Parse()
 
@@ -41,8 +45,7 @@ func main() {
 	}
 
 	if *summary {
-		// Fold each record into the incremental summary sink as it is
-		// decoded; the slice is never materialized.
+		// Table-1 only: fold into the lone summary accumulator.
 		sink := headerbid.NewSummarySink()
 		n := 0
 		err := headerbid.ReadDatasetStream(r, func(rec *headerbid.SiteRecord) error {
@@ -66,13 +69,20 @@ func main() {
 		return
 	}
 
-	// The figure-level report needs every record in memory.
-	recs, err := headerbid.ReadDataset(r)
+	// Fold each record into the figure-report metric as it is decoded;
+	// the record slice is never materialized.
+	fr := headerbid.NewFigureReport()
+	n := 0
+	err := headerbid.ReadDatasetStream(r, func(rec *headerbid.SiteRecord) error {
+		n++
+		fr.Add(rec)
+		return nil
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if len(recs) == 0 {
+	if n == 0 {
 		log.Fatal("empty dataset")
 	}
-	headerbid.Report(os.Stdout, recs)
+	fr.Render(os.Stdout)
 }

@@ -1,7 +1,8 @@
 // Latency study: crawl a mid-sized synthetic web with the streaming
 // Experiment pipeline and reproduce the paper's core latency findings —
 // the total-HB-latency CDF (Figure 12, accumulated incrementally while
-// the crawl runs), latency vs number of demand partners (Figure 15),
+// the crawl runs), latency vs number of demand partners (Figure 15,
+// accumulated as a sharded streaming Metric on the worker goroutines),
 // and the headline HB-vs-waterfall comparison ("HB latency can be up
 // to 3x waterfall in the median case").
 package main
@@ -14,7 +15,6 @@ import (
 	"time"
 
 	"headerbid"
-	"headerbid/internal/analysis"
 	"headerbid/internal/report"
 )
 
@@ -24,12 +24,17 @@ func main() {
 	const seed = 11
 
 	// Figure 12 accumulates while visits stream (every Run computes it as
-	// Results.Latency); the CollectSink bridges to the figure-level
-	// analyses that need the full record slice.
+	// Results.Latency). Figure 15 rides the metrics API: each crawl
+	// worker folds its visits into a private shard, merged when the run
+	// ends — no record slice, no emit-path serialization. Only the
+	// waterfall comparison still needs the full records, so a CollectSink
+	// bridges that one analysis.
+	latVsPartners := headerbid.NewLatencyVsPartnerCount(10)
 	collect := headerbid.NewCollectSink()
 	exp := headerbid.NewExperiment(
 		headerbid.WithSites(3000),
 		headerbid.WithSeed(seed),
+		headerbid.WithMetrics(latVsPartners),
 		headerbid.WithSink(collect),
 	)
 	res, err := exp.Run(context.Background())
@@ -46,12 +51,12 @@ func main() {
 	lat := res.Latency
 	rw.Figure12(lat)
 
-	// Figure 15: more partners, more latency.
-	recs := collect.Records()
-	rw.Figure15(analysis.LatencyVsPartnerCount(recs, 10))
+	// Figure 15: more partners, more latency — straight from the merged
+	// metric shards.
+	rw.Figure15(latVsPartners.Result())
 
 	// Headline: HB vs the waterfall standard over the same partners.
-	cmp := headerbid.CompareWithWaterfall(exp.World(), recs, seed)
+	cmp := headerbid.CompareWithWaterfall(exp.World(), collect.Records(), seed)
 	rw.Comparison(cmp)
 
 	fmt.Printf("\npaper: median ≈600ms, ≥3s in ~10%% of sites, HB/waterfall median ratio up to 3x\n")

@@ -1,8 +1,9 @@
 // Quickstart: the streaming Experiment pipeline end to end — generate a
 // small synthetic web, crawl it with HBDetector attached, watch HB sites
-// stream out of the pipeline as their visits complete, then drill into
-// one site with the single-page entry point (the workflow the paper
-// ships as a browser extension).
+// stream out of the pipeline as their visits complete, aggregate a
+// figure-level metric while the crawl runs, then drill into one site
+// with the single-page entry point (the workflow the paper ships as a
+// browser extension).
 package main
 
 import (
@@ -19,11 +20,15 @@ func main() {
 
 	// One entry point, composable options, pluggable outputs: print each
 	// HB site the moment its visit completes (a custom SinkFunc), while
-	// the run accumulates Table-1 numbers incrementally.
+	// the run accumulates Table-1 numbers incrementally and a streaming
+	// Metric (Figure 8, folded per worker off the emit path) tallies
+	// partner coverage.
+	topPartners := headerbid.NewTopPartners(5)
 	var firstHybrid *headerbid.SiteRecord
 	exp := headerbid.NewExperiment(
 		headerbid.WithSites(200),
 		headerbid.WithSeed(7),
+		headerbid.WithMetrics(topPartners),
 		headerbid.WithSink(headerbid.SinkFunc(func(v headerbid.Visit) error {
 			r := v.Record
 			if r.HB {
@@ -47,7 +52,13 @@ func main() {
 		res.Summary.SitesCrawled, res.Elapsed.Round(time.Millisecond), res.Summary.SitesWithHB,
 		100*res.Summary.AdoptionRate(), res.Summary.Auctions, res.Summary.Bids,
 		res.Summary.DemandPartners)
-	fmt.Printf("median HB latency: %.0f ms\n\n", res.Latency.MedianMS)
+	fmt.Printf("median HB latency: %.0f ms\n", res.Latency.MedianMS)
+
+	fmt.Printf("top demand partners (Figure 8, streamed):")
+	for _, p := range topPartners.Result() {
+		fmt.Printf("  %s %.0f%%", p.Slug, 100*p.Share)
+	}
+	fmt.Printf("\n\n")
 
 	if firstHybrid == nil {
 		log.Fatal("no hybrid site generated (unexpected for this seed)")

@@ -12,15 +12,18 @@ import (
 )
 
 // An Experiment is the streaming crawl pipeline: a world (given or
-// generated), a crawl policy, and a set of sinks that each completed
-// visit is pushed to in deterministic crawl order. Nothing is retained
-// by the pipeline itself — memory stays flat no matter how many sites
-// are crawled, and Run honors context cancellation mid-crawl.
+// generated), a crawl policy, and two kinds of pluggable outputs —
+// ordered Sinks, fed each completed visit in deterministic crawl order,
+// and sharded Metrics, folded on the worker goroutines off the ordered
+// emit path and merged deterministically when the run ends. Nothing is
+// retained by the pipeline itself — memory stays flat no matter how many
+// sites are crawled, and Run honors context cancellation mid-crawl.
 //
 //	exp := headerbid.NewExperiment(
 //		headerbid.WithSites(35000),
 //		headerbid.WithSeed(1),
-//		headerbid.WithSink(jsonl, headerbid.NewSummarySink()),
+//		headerbid.WithSink(jsonl),
+//		headerbid.WithMetrics(headerbid.NewFigureReport()),
 //	)
 //	res, err := exp.Run(ctx)
 //
@@ -40,7 +43,8 @@ type Experiment struct {
 	firstDaySet bool
 	filter      func(*Site) bool
 
-	sinks []Sink
+	sinks   []Sink
+	metrics []Metric
 }
 
 // ExperimentOption configures an Experiment.
@@ -101,9 +105,27 @@ func WithSiteFilter(f func(*Site) bool) ExperimentOption {
 }
 
 // WithSink attaches sinks; each completed visit is pushed to every sink
-// in attachment order before the next visit is delivered.
+// in attachment order before the next visit is delivered. Sinks see the
+// deterministic crawl order but serialize on the emit path — attach a
+// Metric instead when order doesn't matter and throughput does.
 func WithSink(sinks ...Sink) ExperimentOption {
 	return func(e *Experiment) { e.sinks = append(e.sinks, sinks...) }
+}
+
+// WithMetrics attaches streaming metrics to the run. Each worker
+// goroutine folds its visits into a private shard (created with
+// NewShard) off the order-preserving emit path, so metric accumulation
+// never throttles ordered sinks; when the run ends, shards are merged
+// back into the attached metric instances in worker order. Metric
+// results are independent of worker count and scheduling by the Metric
+// contract (order-insensitive Add, commutative/associative Merge).
+//
+// After Run returns, the attached instances hold the merged run totals
+// and are also available through Results.Metrics. On cancellation or
+// sink error, metrics hold whatever visits completed — a superset of the
+// visits ordered sinks saw.
+func WithMetrics(ms ...Metric) ExperimentOption {
+	return func(e *Experiment) { e.metrics = append(e.metrics, ms...) }
 }
 
 // WithProgress is shorthand for WithSink(NewProgressSink(fn)).
@@ -120,9 +142,32 @@ func NewExperiment(opts ...ExperimentOption) *Experiment {
 	return e
 }
 
+// Metrics is the bag of merged metric accumulators a run produced, in
+// attachment order.
+type Metrics struct {
+	ms []Metric
+}
+
+// All returns every attached metric, merged, in attachment order.
+func (m Metrics) All() []Metric { return m.ms }
+
+// Get returns the first attached metric with the given name, or nil.
+func (m Metrics) Get(name string) Metric {
+	for _, mm := range m.ms {
+		if mm.Name() == name {
+			return mm
+		}
+	}
+	return nil
+}
+
+// Len reports how many metrics were attached.
+func (m Metrics) Len() int { return len(m.ms) }
+
 // Results is what every run computes incrementally regardless of
 // attached sinks: the Table-1 roll-up, crawl health counters and the
-// latency CDF — none of which require retaining records.
+// latency CDF — none of which require retaining records — plus the bag
+// of user-attached metrics.
 type Results struct {
 	// Summary is the Table 1 roll-up over the streamed records.
 	Summary Summary
@@ -130,12 +175,26 @@ type Results struct {
 	Stats CrawlStats
 	// Latency is the Figure-12 total-HB-latency CDF.
 	Latency LatencyStats
+	// Metrics holds the metrics attached with WithMetrics, merged across
+	// worker shards (the same instances the caller attached).
+	Metrics Metrics
 	// Elapsed is the wall-clock run time.
 	Elapsed time.Duration
 }
 
 // CrawlStats counts crawl health: visits, loads, timeouts, HB sites.
 type CrawlStats = crawler.Stats
+
+// statsMetric folds crawl-health counters as a sharded metric.
+type statsMetric struct {
+	s CrawlStats
+}
+
+func (m *statsMetric) Name() string                { return "crawl_stats" }
+func (m *statsMetric) Add(r *dataset.SiteRecord)   { m.s.Add(r) }
+func (m *statsMetric) NewShard() analysis.Metric   { return &statsMetric{} }
+func (m *statsMetric) Merge(other analysis.Metric) { m.s.Merge(other.(*statsMetric).s) }
+func (m *statsMetric) Snapshot() any               { return m.s }
 
 // World resolves the world this experiment crawls (generating it if
 // needed); repeated calls return the same world.
@@ -181,29 +240,58 @@ func (e *Experiment) crawlOptions() crawler.Options {
 }
 
 // Run executes the crawl, streaming each visit to the attached sinks the
-// moment it completes. It returns as soon as ctx is cancelled (with
-// ctx.Err()) or a sink fails (with that sink's error); sinks are always
-// closed exactly once, even on early exit.
+// moment it completes and folding it into per-worker metric shards as it
+// is produced. It returns as soon as ctx is cancelled (with ctx.Err())
+// or a sink fails (with that sink's error); sinks are always closed
+// exactly once and metrics are always merged, even on early exit.
 func (e *Experiment) Run(ctx context.Context) (Results, error) {
 	start := time.Now()
 	w := e.World()
 	opts := e.crawlOptions()
+	// Pin the worker count so the shard array and the crawler agree on
+	// the fold-shard space (the crawler owns the defaulting rule).
+	opts.Workers = opts.ResolvedWorkers()
 
-	sum := dataset.NewSummaryAccumulator()
+	// Built-in metrics (every run computes Results from them) ride the
+	// same sharded fold path as the user-attached ones.
+	sum := analysis.NewSummary()
 	lat := analysis.NewLatencyAccumulator()
-	var stats CrawlStats
+	st := &statsMetric{}
+	all := []Metric{sum, lat, st}
+	for _, m := range e.metrics {
+		all = append(all, m)
+	}
 
-	runErr := crawler.CrawlStream(ctx, w, opts, func(v Visit) error {
-		sum.Add(v.Record)
-		lat.Add(v.Record)
-		stats.Add(v.Record)
+	shards := make([][]Metric, opts.Workers)
+	for i := range shards {
+		shards[i] = make([]Metric, len(all))
+		for j, m := range all {
+			shards[i][j] = m.NewShard()
+		}
+	}
+	fold := func(shard int, r *dataset.SiteRecord) {
+		for _, m := range shards[shard] {
+			m.Add(r)
+		}
+	}
+
+	runErr := crawler.CrawlStreamSharded(ctx, w, opts, func(v Visit) error {
 		for i, s := range e.sinks {
 			if err := s.Consume(v); err != nil {
 				return fmt.Errorf("sink %d (%T): %w", i, s, err)
 			}
 		}
 		return nil
-	})
+	}, fold)
+
+	// Merge worker shards back into the prototypes in worker order; the
+	// Metric contract makes the outcome independent of which worker saw
+	// which visit.
+	for i := range shards {
+		for j, m := range all {
+			m.Merge(shards[i][j])
+		}
+	}
 
 	var closeErr error
 	for i, s := range e.sinks {
@@ -214,8 +302,9 @@ func (e *Experiment) Run(ctx context.Context) (Results, error) {
 
 	res := Results{
 		Summary: sum.Summary(),
-		Stats:   stats,
+		Stats:   st.s,
 		Latency: lat.Result(),
+		Metrics: Metrics{ms: e.metrics},
 		Elapsed: time.Since(start),
 	}
 	if runErr != nil {

@@ -13,11 +13,25 @@
 //	fmt.Printf("HB adoption: %.2f%%\n", 100*res.Summary.AdoptionRate())
 //
 // Experiments stream each completed visit to pluggable Sinks (JSONL
-// writing, incremental summaries, latency aggregation, progress, custom
-// SinkFunc) the moment the visit finishes, so crawls of any size run in
-// flat memory and stop promptly when the context is cancelled. The
-// legacy batch entry points (Crawl, Summarize, WriteDataset, ...) remain
-// as thin deprecated wrappers over the Experiment.
+// writing, progress, custom SinkFunc) the moment the visit finishes, so
+// crawls of any size run in flat memory and stop promptly when the
+// context is cancelled.
+//
+// Analysis is the streaming Metrics API: every table and figure of the
+// paper is a Metric — an incremental accumulator with Add/Merge — that
+// can be attached to a live run with WithMetrics (folded per worker
+// shard, off the ordered emit path, merged deterministically at run end)
+// or fed from a JSONL stream. NewFigureReport bundles all of them into
+// the full figure report:
+//
+//	fr := headerbid.NewFigureReport()
+//	exp := headerbid.NewExperiment(headerbid.WithSites(35000), headerbid.WithMetrics(fr))
+//	if _, err := exp.Run(ctx); err == nil {
+//		fr.Render(os.Stdout)
+//	}
+//
+// The legacy batch entry points (Crawl, Summarize, WriteDataset, ...)
+// remain as thin deprecated wrappers over the Experiment and Metrics.
 //
 // The package is a thin facade; the implementation lives in internal/
 // packages (see DESIGN.md for the system inventory).
@@ -66,6 +80,14 @@ type (
 	CrawlConfig = crawler.Options
 	// Archive is the historical snapshot archive for adoption studies.
 	Archive = wayback.Archive
+	// Metric is a streaming, mergeable accumulator over site records —
+	// the unit of the metrics API. Attach metrics to a run with
+	// WithMetrics; every figure-level analysis ships as one (see
+	// NewFigureReport for the full bundle).
+	Metric = analysis.Metric
+	// FigureReport accumulates every dataset-derived table and figure of
+	// the paper as one composite Metric; Render writes the full report.
+	FigureReport = report.Figures
 )
 
 // Facet values.
@@ -152,9 +174,26 @@ func ReadDatasetStream(r io.Reader, fn func(*SiteRecord) error) error {
 // the whole dataset (ReadDataset remains for analyses that need it all).
 func ReadDataset(r io.Reader) ([]*SiteRecord, error) { return dataset.Read(r) }
 
+// NewFigureReport returns an empty full-figure-report metric over the
+// study's demand-partner registry. Attach it to an Experiment with
+// WithMetrics (or fold a JSONL stream into it with Add) and Render the
+// complete report — no record slice is ever materialized, and the output
+// is byte-identical across worker counts.
+func NewFigureReport() *FigureReport {
+	return report.NewFigures(partners.Default())
+}
+
 // Report renders every dataset-derived table and figure to w.
+//
+// Deprecated: Report consumes a materialized record slice. Use
+// NewFigureReport with WithMetrics (live runs) or ReadDatasetStream
+// (datasets) to build the same report in streaming memory.
 func Report(w io.Writer, recs []*SiteRecord) {
-	report.New(w).Full(recs, partners.Default())
+	fr := NewFigureReport()
+	for _, r := range recs {
+		fr.Add(r)
+	}
+	fr.Render(w)
 }
 
 // NewArchive builds the historical snapshot archive (top-1k per year).

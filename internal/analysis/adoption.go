@@ -93,8 +93,8 @@ type ProtocolComparison struct {
 // in recs. Deterministic in seed.
 func CompareWithWaterfall(w *sitegen.World, recs []*dataset.SiteRecord, seed int64) ProtocolComparison {
 	latByDomain := map[string][]float64{}
-	for _, r := range hbRecords(recs) {
-		if r.TotalHBLatencyMS > 0 {
+	for _, r := range recs {
+		if r.HB && r.TotalHBLatencyMS > 0 {
 			latByDomain[r.Domain] = append(latByDomain[r.Domain], r.TotalHBLatencyMS)
 		}
 	}

@@ -1,42 +1,21 @@
 // Package analysis turns crawl datasets into the tables and figures of
-// the paper. Every public function corresponds to one table/figure (see
-// DESIGN.md §4 for the full index); all of them consume the flat
-// dataset.SiteRecord stream produced by the crawler, so they can be run
-// on any dataset regardless of which network produced it.
+// the paper. Every figure-level analysis is a streaming Metric — an
+// incremental, mergeable accumulator over dataset.SiteRecord (see
+// metric.go for the contract) — so a crawl of any size can compute every
+// figure without materializing the record slice, and per-worker shards
+// merge into results identical to a single ordered pass. Each legacy
+// batch function (one per table/figure, see DESIGN.md §4 for the index)
+// remains as a thin fold-then-result wrapper over its metric.
 package analysis
 
 import (
 	"sort"
+	"strings"
 
 	"headerbid/internal/dataset"
 	"headerbid/internal/hb"
 	"headerbid/internal/stats"
 )
-
-// hbRecords filters to HB site records.
-func hbRecords(recs []*dataset.SiteRecord) []*dataset.SiteRecord {
-	var out []*dataset.SiteRecord
-	for _, r := range recs {
-		if r.HB {
-			out = append(out, r)
-		}
-	}
-	return out
-}
-
-// dedupeByDomain keeps the first record per domain (site-level analyses
-// use one observation per site; multi-day datasets would double count).
-func dedupeByDomain(recs []*dataset.SiteRecord) []*dataset.SiteRecord {
-	seen := make(map[string]bool, len(recs))
-	var out []*dataset.SiteRecord
-	for _, r := range recs {
-		if !seen[r.Domain] {
-			seen[r.Domain] = true
-			out = append(out, r)
-		}
-	}
-	return out
-}
 
 // ---------------------------------------------------------------------------
 // Adoption (Table 1 companion, §3.2 rank bands, §4.6 facets)
@@ -50,29 +29,60 @@ type RankBandAdoption struct {
 	Adoption float64
 }
 
-// AdoptionByRankBand reproduces §3.2: HB share in the top 5k, 5k-15k and
-// the tail.
-func AdoptionByRankBand(recs []*dataset.SiteRecord) []RankBandAdoption {
-	recs = dedupeByDomain(recs)
+// AdoptionByRankBandMetric accumulates §3.2 incrementally: one (rank,
+// hb) cell per distinct domain, first visit wins.
+type AdoptionByRankBandMetric struct {
+	sites firstOf[rankHB]
+}
+
+type rankHB struct {
+	rank int
+	hb   bool
+}
+
+// NewAdoptionByRankBand returns an empty §3.2 rank-band metric.
+func NewAdoptionByRankBand() *AdoptionByRankBandMetric {
+	return &AdoptionByRankBandMetric{sites: newFirstOf[rankHB]()}
+}
+
+// Name identifies the metric.
+func (m *AdoptionByRankBandMetric) Name() string { return "adoption_by_rank_band" }
+
+// Add folds one record in.
+func (m *AdoptionByRankBandMetric) Add(r *dataset.SiteRecord) {
+	m.sites.add(r.Domain, r.VisitDay, rankHB{rank: r.Rank, hb: r.HB})
+}
+
+// NewShard returns a fresh empty accumulator.
+func (m *AdoptionByRankBandMetric) NewShard() Metric { return NewAdoptionByRankBand() }
+
+// Merge folds a shard in.
+func (m *AdoptionByRankBandMetric) Merge(other Metric) {
+	m.sites.merge(mergeArg[*AdoptionByRankBandMetric](m, other).sites)
+}
+
+// Snapshot returns Result.
+func (m *AdoptionByRankBandMetric) Snapshot() any { return m.Result() }
+
+// Result computes the rank-band adoption table over everything added.
+func (m *AdoptionByRankBandMetric) Result() []RankBandAdoption {
 	bands := []RankBandAdoption{
 		{Lo: 1, Hi: 5000},
 		{Lo: 5001, Hi: 15000},
 		{Lo: 15001, Hi: 1 << 30},
 	}
 	maxRank := 0
-	for _, r := range recs {
+	m.sites.each(func(_ string, s rankHB) {
 		for i := range bands {
-			if r.Rank >= bands[i].Lo && r.Rank <= bands[i].Hi {
+			if s.rank >= bands[i].Lo && s.rank <= bands[i].Hi {
 				bands[i].Sites++
-				if r.HB {
+				if s.hb {
 					bands[i].HBSites++
 				}
 			}
 		}
-		if r.Rank > maxRank {
-			maxRank = r.Rank
-		}
-	}
+		maxRank = max(maxRank, s.rank)
+	})
 	var out []RankBandAdoption
 	for _, b := range bands {
 		if b.Sites == 0 {
@@ -87,6 +97,12 @@ func AdoptionByRankBand(recs []*dataset.SiteRecord) []RankBandAdoption {
 	return out
 }
 
+// AdoptionByRankBand reproduces §3.2: HB share in the top 5k, 5k-15k and
+// the tail — the batch fold over NewAdoptionByRankBand.
+func AdoptionByRankBand(recs []*dataset.SiteRecord) []RankBandAdoption {
+	return foldAll(NewAdoptionByRankBand(), recs).Result()
+}
+
 // FacetShare is one facet's share of HB sites.
 type FacetShare struct {
 	Facet hb.Facet
@@ -94,14 +110,44 @@ type FacetShare struct {
 	Share float64
 }
 
-// FacetBreakdown reproduces §4.6: server 48%, hybrid 34.7%, client 17.3%.
-func FacetBreakdown(recs []*dataset.SiteRecord) []FacetShare {
-	recs = dedupeByDomain(hbRecords(recs))
-	counts := map[hb.Facet]int{}
-	for _, r := range recs {
-		counts[r.FacetValue()]++
+// FacetBreakdownMetric accumulates §4.6 incrementally: the facet of the
+// first HB record per domain.
+type FacetBreakdownMetric struct {
+	sites firstOf[hb.Facet]
+}
+
+// NewFacetBreakdown returns an empty §4.6 facet metric.
+func NewFacetBreakdown() *FacetBreakdownMetric {
+	return &FacetBreakdownMetric{sites: newFirstOf[hb.Facet]()}
+}
+
+// Name identifies the metric.
+func (m *FacetBreakdownMetric) Name() string { return "facet_breakdown" }
+
+// Add folds one record in (non-HB records are ignored).
+func (m *FacetBreakdownMetric) Add(r *dataset.SiteRecord) {
+	if !r.HB {
+		return
 	}
-	total := len(recs)
+	m.sites.add(r.Domain, r.VisitDay, r.FacetValue())
+}
+
+// NewShard returns a fresh empty accumulator.
+func (m *FacetBreakdownMetric) NewShard() Metric { return NewFacetBreakdown() }
+
+// Merge folds a shard in.
+func (m *FacetBreakdownMetric) Merge(other Metric) {
+	m.sites.merge(mergeArg[*FacetBreakdownMetric](m, other).sites)
+}
+
+// Snapshot returns Result.
+func (m *FacetBreakdownMetric) Snapshot() any { return m.Result() }
+
+// Result computes the per-facet shares over everything added.
+func (m *FacetBreakdownMetric) Result() []FacetShare {
+	counts := map[hb.Facet]int{}
+	m.sites.each(func(_ string, f hb.Facet) { counts[f]++ })
+	total := m.sites.len()
 	var out []FacetShare
 	for _, f := range []hb.Facet{hb.FacetServer, hb.FacetHybrid, hb.FacetClient, hb.FacetUnknown} {
 		n := counts[f]
@@ -117,6 +163,11 @@ func FacetBreakdown(recs []*dataset.SiteRecord) []FacetShare {
 	return out
 }
 
+// FacetBreakdown reproduces §4.6: server 48%, hybrid 34.7%, client 17.3%.
+func FacetBreakdown(recs []*dataset.SiteRecord) []FacetShare {
+	return foldAll(NewFacetBreakdown(), recs).Result()
+}
+
 // ---------------------------------------------------------------------------
 // Demand partners (Figures 8, 9, 10, 11)
 // ---------------------------------------------------------------------------
@@ -128,20 +179,53 @@ type PartnerShare struct {
 	Share float64 // fraction of HB sites the partner appears on
 }
 
-// TopPartners reproduces Figure 8: the percentage of HB sites each
-// demand partner participates in, descending; k<=0 returns all.
-func TopPartners(recs []*dataset.SiteRecord, k int) []PartnerShare {
-	recs = dedupeByDomain(hbRecords(recs))
+// TopPartnersMetric accumulates Figure 8 incrementally: the partner list
+// of the first HB record per domain.
+type TopPartnersMetric struct {
+	k     int
+	sites firstOf[[]string]
+}
+
+// NewTopPartners returns an empty Figure-8 metric; k<=0 reports all.
+func NewTopPartners(k int) *TopPartnersMetric {
+	return &TopPartnersMetric{k: k, sites: newFirstOf[[]string]()}
+}
+
+// Name identifies the metric.
+func (m *TopPartnersMetric) Name() string { return "top_partners" }
+
+// Add folds one record in (non-HB records are ignored).
+func (m *TopPartnersMetric) Add(r *dataset.SiteRecord) {
+	if !r.HB {
+		return
+	}
+	m.sites.add(r.Domain, r.VisitDay, r.Partners)
+}
+
+// NewShard returns a fresh empty accumulator with the same k.
+func (m *TopPartnersMetric) NewShard() Metric { return NewTopPartners(m.k) }
+
+// Merge folds a shard in.
+func (m *TopPartnersMetric) Merge(other Metric) {
+	m.sites.merge(mergeArg[*TopPartnersMetric](m, other).sites)
+}
+
+// Snapshot returns Result.
+func (m *TopPartnersMetric) Snapshot() any { return m.Result() }
+
+// Result computes the partner coverage table over everything added.
+func (m *TopPartnersMetric) Result() []PartnerShare {
 	counts := map[string]int{}
-	for _, r := range recs {
-		for _, p := range r.Partners {
+	m.sites.each(func(_ string, ps []string) {
+		for _, p := range ps {
 			counts[p]++
 		}
-	}
+	})
+	total := m.sites.len()
 	out := make([]PartnerShare, 0, len(counts))
 	for slug, n := range counts {
 		out = append(out, PartnerShare{
-			Slug: slug, Sites: n, Share: float64(n) / float64(max(1, len(recs))),
+			Slug: slug, Sites: n, Share: float64(n) / float64(max(1, total)),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -150,27 +234,63 @@ func TopPartners(recs []*dataset.SiteRecord, k int) []PartnerShare {
 		}
 		return out[i].Slug < out[j].Slug
 	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
+	if m.k > 0 && len(out) > m.k {
+		out = out[:m.k]
 	}
 	return out
 }
 
-// UniquePartners counts distinct partners across the dataset.
-func UniquePartners(recs []*dataset.SiteRecord) int {
-	set := map[string]bool{}
-	for _, r := range recs {
-		for _, p := range r.Partners {
-			set[p] = true
-		}
-		for _, p := range r.Winners {
-			set[p] = true
-		}
-	}
-	return len(set)
+// TopPartners reproduces Figure 8: the percentage of HB sites each
+// demand partner participates in, descending; k<=0 returns all.
+func TopPartners(recs []*dataset.SiteRecord, k int) []PartnerShare {
+	return foldAll(NewTopPartners(k), recs).Result()
 }
 
-// PartnersPerSite reproduces Figure 9: the distribution of demand
+// UniquePartnersMetric counts distinct partners incrementally.
+type UniquePartnersMetric struct {
+	set map[string]bool
+}
+
+// NewUniquePartners returns an empty distinct-partner counter.
+func NewUniquePartners() *UniquePartnersMetric {
+	return &UniquePartnersMetric{set: make(map[string]bool)}
+}
+
+// Name identifies the metric.
+func (m *UniquePartnersMetric) Name() string { return "unique_partners" }
+
+// Add folds one record in.
+func (m *UniquePartnersMetric) Add(r *dataset.SiteRecord) {
+	for _, p := range r.Partners {
+		m.set[p] = true
+	}
+	for _, p := range r.Winners {
+		m.set[p] = true
+	}
+}
+
+// NewShard returns a fresh empty accumulator.
+func (m *UniquePartnersMetric) NewShard() Metric { return NewUniquePartners() }
+
+// Merge folds a shard in.
+func (m *UniquePartnersMetric) Merge(other Metric) {
+	for p := range mergeArg[*UniquePartnersMetric](m, other).set {
+		m.set[p] = true
+	}
+}
+
+// Snapshot returns Result.
+func (m *UniquePartnersMetric) Snapshot() any { return m.Result() }
+
+// Result reports the distinct partner count.
+func (m *UniquePartnersMetric) Result() int { return len(m.set) }
+
+// UniquePartners counts distinct partners across the dataset.
+func UniquePartners(recs []*dataset.SiteRecord) int {
+	return foldAll(NewUniquePartners(), recs).Result()
+}
+
+// PartnersPerSiteResult reproduces Figure 9: the distribution of demand
 // partners per HB site. Returns the ECDF plus the headline fractions.
 type PartnersPerSiteResult struct {
 	ECDF      *stats.ECDF
@@ -181,14 +301,45 @@ type PartnersPerSiteResult struct {
 	SiteCount int
 }
 
-// PartnersPerSite computes the Figure 9 distribution.
-func PartnersPerSite(recs []*dataset.SiteRecord) PartnersPerSiteResult {
-	recs = dedupeByDomain(hbRecords(recs))
+// PartnersPerSiteMetric accumulates Figure 9 incrementally: the partner
+// count of the first HB record per domain.
+type PartnersPerSiteMetric struct {
+	sites firstOf[int]
+}
+
+// NewPartnersPerSite returns an empty Figure-9 metric.
+func NewPartnersPerSite() *PartnersPerSiteMetric {
+	return &PartnersPerSiteMetric{sites: newFirstOf[int]()}
+}
+
+// Name identifies the metric.
+func (m *PartnersPerSiteMetric) Name() string { return "partners_per_site" }
+
+// Add folds one record in (non-HB records are ignored).
+func (m *PartnersPerSiteMetric) Add(r *dataset.SiteRecord) {
+	if !r.HB {
+		return
+	}
+	m.sites.add(r.Domain, r.VisitDay, len(r.Partners))
+}
+
+// NewShard returns a fresh empty accumulator.
+func (m *PartnersPerSiteMetric) NewShard() Metric { return NewPartnersPerSite() }
+
+// Merge folds a shard in.
+func (m *PartnersPerSiteMetric) Merge(other Metric) {
+	m.sites.merge(mergeArg[*PartnersPerSiteMetric](m, other).sites)
+}
+
+// Snapshot returns Result.
+func (m *PartnersPerSiteMetric) Snapshot() any { return m.Result() }
+
+// Result computes the Figure-9 distribution over everything added.
+func (m *PartnersPerSiteMetric) Result() PartnersPerSiteResult {
 	var xs []float64
 	maxC := 0
 	one, ge5, ge10 := 0, 0, 0
-	for _, r := range recs {
-		n := len(r.Partners)
+	m.sites.each(func(_ string, n int) {
 		xs = append(xs, float64(n))
 		if n == 1 {
 			one++
@@ -199,10 +350,8 @@ func PartnersPerSite(recs []*dataset.SiteRecord) PartnersPerSiteResult {
 		if n >= 10 {
 			ge10++
 		}
-		if n > maxC {
-			maxC = n
-		}
-	}
+		maxC = max(maxC, n)
+	})
 	total := max(1, len(xs))
 	return PartnersPerSiteResult{
 		ECDF:      stats.NewECDF(xs),
@@ -214,6 +363,11 @@ func PartnersPerSite(recs []*dataset.SiteRecord) PartnersPerSiteResult {
 	}
 }
 
+// PartnersPerSite computes the Figure 9 distribution.
+func PartnersPerSite(recs []*dataset.SiteRecord) PartnersPerSiteResult {
+	return foldAll(NewPartnersPerSite(), recs).Result()
+}
+
 // ComboShare is one demand-partner combination's share (Figure 10).
 type ComboShare struct {
 	Combo []string // sorted slugs
@@ -222,27 +376,64 @@ type ComboShare struct {
 	Share float64
 }
 
-// PartnerCombos reproduces Figure 10: the most frequent partner
-// combinations, descending; k<=0 returns all.
-func PartnerCombos(recs []*dataset.SiteRecord, k int) []ComboShare {
-	recs = dedupeByDomain(hbRecords(recs))
+// PartnerCombosMetric accumulates Figure 10 incrementally: the partner
+// list of the first HB record per domain. Combination keys are built at
+// Result time — one sort+join per distinct site, not per visit, keeping
+// the per-record fold cheap on multi-day crawls.
+type PartnerCombosMetric struct {
+	k     int
+	sites firstOf[[]string]
+}
+
+// NewPartnerCombos returns an empty Figure-10 metric; k<=0 reports all.
+func NewPartnerCombos(k int) *PartnerCombosMetric {
+	return &PartnerCombosMetric{k: k, sites: newFirstOf[[]string]()}
+}
+
+// Name identifies the metric.
+func (m *PartnerCombosMetric) Name() string { return "partner_combos" }
+
+// Add folds one record in (non-HB records are ignored).
+func (m *PartnerCombosMetric) Add(r *dataset.SiteRecord) {
+	if !r.HB {
+		return
+	}
+	m.sites.add(r.Domain, r.VisitDay, r.Partners)
+}
+
+// NewShard returns a fresh empty accumulator with the same k.
+func (m *PartnerCombosMetric) NewShard() Metric { return NewPartnerCombos(m.k) }
+
+// Merge folds a shard in.
+func (m *PartnerCombosMetric) Merge(other Metric) {
+	m.sites.merge(mergeArg[*PartnerCombosMetric](m, other).sites)
+}
+
+// Snapshot returns Result.
+func (m *PartnerCombosMetric) Snapshot() any { return m.Result() }
+
+// Result computes the combination shares over everything added. Sites
+// whose first HB record listed no partners count toward the share
+// denominator but form no combination, matching the batch semantics.
+func (m *PartnerCombosMetric) Result() []ComboShare {
 	counts := map[string]int{}
 	members := map[string][]string{}
-	for _, r := range recs {
-		if len(r.Partners) == 0 {
-			continue
+	m.sites.each(func(_ string, ps []string) {
+		if len(ps) == 0 {
+			return
 		}
-		sorted := append([]string(nil), r.Partners...)
+		sorted := append([]string(nil), ps...)
 		sort.Strings(sorted)
-		key := join(sorted, "+")
+		key := strings.Join(sorted, "+")
 		counts[key]++
 		members[key] = sorted
-	}
+	})
+	total := m.sites.len()
 	out := make([]ComboShare, 0, len(counts))
 	for key, n := range counts {
 		out = append(out, ComboShare{
 			Combo: members[key], Key: key, Sites: n,
-			Share: float64(n) / float64(max(1, len(recs))),
+			Share: float64(n) / float64(max(1, total)),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -251,10 +442,16 @@ func PartnerCombos(recs []*dataset.SiteRecord, k int) []ComboShare {
 		}
 		return out[i].Key < out[j].Key
 	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
+	if m.k > 0 && len(out) > m.k {
+		out = out[:m.k]
 	}
 	return out
+}
+
+// PartnerCombos reproduces Figure 10: the most frequent partner
+// combinations, descending; k<=0 returns all.
+func PartnerCombos(recs []*dataset.SiteRecord, k int) []ComboShare {
+	return foldAll(NewPartnerCombos(k), recs).Result()
 }
 
 // PartnerBidShare is one partner's share of observed bids within a facet
@@ -265,24 +462,69 @@ type PartnerBidShare struct {
 	Share float64
 }
 
-// PartnersPerFacet reproduces Figure 11: top partners by share of bids,
-// per HB facet; k<=0 returns all.
-func PartnersPerFacet(recs []*dataset.SiteRecord, k int) map[hb.Facet][]PartnerBidShare {
+// PartnersPerFacetMetric accumulates Figure 11 incrementally: per-facet
+// bid counts per partner, over every HB record (all days).
+type PartnersPerFacetMetric struct {
+	k      int
+	counts map[hb.Facet]map[string]int
+	totals map[hb.Facet]int
+}
+
+// NewPartnersPerFacet returns an empty Figure-11 metric; k<=0 reports all.
+func NewPartnersPerFacet(k int) *PartnersPerFacetMetric {
+	m := &PartnersPerFacetMetric{
+		k:      k,
+		counts: make(map[hb.Facet]map[string]int, 3),
+		totals: make(map[hb.Facet]int, 3),
+	}
+	for _, f := range hb.Facets() {
+		m.counts[f] = map[string]int{}
+	}
+	return m
+}
+
+// Name identifies the metric.
+func (m *PartnersPerFacetMetric) Name() string { return "partners_per_facet" }
+
+// Add folds one record in (non-HB and unknown-facet records are ignored).
+func (m *PartnersPerFacetMetric) Add(r *dataset.SiteRecord) {
+	if !r.HB {
+		return
+	}
+	f := r.FacetValue()
+	counts := m.counts[f]
+	if counts == nil {
+		return
+	}
+	for _, a := range r.Auctions {
+		for _, b := range a.Bids {
+			counts[b.Bidder]++
+			m.totals[f]++
+		}
+	}
+}
+
+// NewShard returns a fresh empty accumulator with the same k.
+func (m *PartnersPerFacetMetric) NewShard() Metric { return NewPartnersPerFacet(m.k) }
+
+// Merge folds a shard in.
+func (m *PartnersPerFacetMetric) Merge(other Metric) {
+	o := mergeArg[*PartnersPerFacetMetric](m, other)
+	for f, counts := range o.counts {
+		mergeCounts(m.counts[f], counts)
+	}
+	mergeCounts(m.totals, o.totals)
+}
+
+// Snapshot returns Result.
+func (m *PartnersPerFacetMetric) Snapshot() any { return m.Result() }
+
+// Result computes the per-facet bid shares over everything added.
+func (m *PartnersPerFacetMetric) Result() map[hb.Facet][]PartnerBidShare {
 	out := make(map[hb.Facet][]PartnerBidShare, 3)
 	for _, facet := range hb.Facets() {
-		counts := map[string]int{}
-		total := 0
-		for _, r := range hbRecords(recs) {
-			if r.FacetValue() != facet {
-				continue
-			}
-			for _, a := range r.Auctions {
-				for _, b := range a.Bids {
-					counts[b.Bidder]++
-					total++
-				}
-			}
-		}
+		counts := m.counts[facet]
+		total := m.totals[facet]
 		shares := make([]PartnerBidShare, 0, len(counts))
 		for slug, n := range counts {
 			shares = append(shares, PartnerBidShare{
@@ -295,28 +537,16 @@ func PartnersPerFacet(recs []*dataset.SiteRecord, k int) map[hb.Facet][]PartnerB
 			}
 			return shares[i].Slug < shares[j].Slug
 		})
-		if k > 0 && len(shares) > k {
-			shares = shares[:k]
+		if m.k > 0 && len(shares) > m.k {
+			shares = shares[:m.k]
 		}
 		out[facet] = shares
 	}
 	return out
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func join(xs []string, sep string) string {
-	out := ""
-	for i, x := range xs {
-		if i > 0 {
-			out += sep
-		}
-		out += x
-	}
-	return out
+// PartnersPerFacet reproduces Figure 11: top partners by share of bids,
+// per HB facet; k<=0 returns all.
+func PartnersPerFacet(recs []*dataset.SiteRecord, k int) map[hb.Facet][]PartnerBidShare {
+	return foldAll(NewPartnersPerFacet(k), recs).Result()
 }

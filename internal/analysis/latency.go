@@ -36,6 +36,9 @@ type LatencyAccumulator struct {
 // NewLatencyAccumulator returns an empty accumulator.
 func NewLatencyAccumulator() *LatencyAccumulator { return &LatencyAccumulator{} }
 
+// Name identifies the metric.
+func (a *LatencyAccumulator) Name() string { return "latency_cdf" }
+
 // Add folds one record in (non-HB and latency-free records are ignored,
 // mirroring the batch filter).
 func (a *LatencyAccumulator) Add(r *dataset.SiteRecord) {
@@ -43,6 +46,17 @@ func (a *LatencyAccumulator) Add(r *dataset.SiteRecord) {
 		a.xs = append(a.xs, r.TotalHBLatencyMS)
 	}
 }
+
+// NewShard returns a fresh empty accumulator.
+func (a *LatencyAccumulator) NewShard() Metric { return NewLatencyAccumulator() }
+
+// Merge folds a shard's samples in (the CDF sorts, so order is moot).
+func (a *LatencyAccumulator) Merge(other Metric) {
+	a.xs = append(a.xs, mergeArg[*LatencyAccumulator](a, other).xs...)
+}
+
+// Snapshot returns Result.
+func (a *LatencyAccumulator) Snapshot() any { return a.Result() }
 
 // Samples reports how many latency samples have been folded in.
 func (a *LatencyAccumulator) Samples() int { return len(a.xs) }
@@ -63,26 +77,52 @@ func (a *LatencyAccumulator) Result() LatencyCDFResult {
 // LatencyCDF computes the total HB latency CDF across HB sites — the
 // batch convenience over LatencyAccumulator.
 func LatencyCDF(recs []*dataset.SiteRecord) LatencyCDFResult {
-	a := NewLatencyAccumulator()
-	for _, r := range recs {
-		a.Add(r)
-	}
-	return a.Result()
+	return foldAll(NewLatencyAccumulator(), recs).Result()
 }
+
+// LatencyVsRankMetric accumulates Figure 13 incrementally: per-rank-bin
+// latency samples.
+type LatencyVsRankMetric struct {
+	b *stats.Binner
+}
+
+// NewLatencyVsRank returns an empty Figure-13 metric (binWidth<=0 uses
+// the paper's 500).
+func NewLatencyVsRank(binWidth int) *LatencyVsRankMetric {
+	if binWidth <= 0 {
+		binWidth = 500
+	}
+	return &LatencyVsRankMetric{b: stats.NewBinner(binWidth)}
+}
+
+// Name identifies the metric.
+func (m *LatencyVsRankMetric) Name() string { return "latency_vs_rank" }
+
+// Add folds one record in.
+func (m *LatencyVsRankMetric) Add(r *dataset.SiteRecord) {
+	if r.HB && r.TotalHBLatencyMS > 0 {
+		m.b.Add(r.Rank-1, r.TotalHBLatencyMS)
+	}
+}
+
+// NewShard returns a fresh empty accumulator with the same bin width.
+func (m *LatencyVsRankMetric) NewShard() Metric { return NewLatencyVsRank(m.b.Width) }
+
+// Merge folds a shard in.
+func (m *LatencyVsRankMetric) Merge(other Metric) {
+	m.b.Merge(mergeArg[*LatencyVsRankMetric](m, other).b)
+}
+
+// Snapshot returns Result.
+func (m *LatencyVsRankMetric) Snapshot() any { return m.Result() }
+
+// Result computes the per-bin whisker summaries over everything added.
+func (m *LatencyVsRankMetric) Result() []stats.BinSummary { return m.b.Summaries() }
 
 // LatencyVsRank reproduces Figure 13: per-rank-bin whisker summaries of
 // HB latency (bins of binWidth ranks, the paper uses 500).
 func LatencyVsRank(recs []*dataset.SiteRecord, binWidth int) []stats.BinSummary {
-	if binWidth <= 0 {
-		binWidth = 500
-	}
-	b := stats.NewBinner(binWidth)
-	for _, r := range hbRecords(recs) {
-		if r.TotalHBLatencyMS > 0 {
-			b.Add(r.Rank-1, r.TotalHBLatencyMS)
-		}
-	}
-	return b.Summaries()
+	return foldAll(NewLatencyVsRank(binWidth), recs).Result()
 }
 
 // PartnerLatencySummary is one partner's observed latency profile.
@@ -92,17 +132,45 @@ type PartnerLatencySummary struct {
 	Samples int
 }
 
-// PartnerLatencies aggregates observed per-partner bid latencies across
-// the dataset (the raw material of Figures 14 and 16).
-func PartnerLatencies(recs []*dataset.SiteRecord) []PartnerLatencySummary {
-	byPartner := map[string][]float64{}
-	for _, r := range hbRecords(recs) {
-		for slug, ls := range r.PartnerLatencyMS {
-			byPartner[slug] = append(byPartner[slug], ls...)
-		}
+// PartnerLatenciesMetric accumulates observed per-partner bid latencies
+// incrementally — the raw material of Figures 14 and 16.
+type PartnerLatenciesMetric struct {
+	byPartner map[string][]float64
+}
+
+// NewPartnerLatencies returns an empty per-partner latency metric.
+func NewPartnerLatencies() *PartnerLatenciesMetric {
+	return &PartnerLatenciesMetric{byPartner: make(map[string][]float64)}
+}
+
+// Name identifies the metric.
+func (m *PartnerLatenciesMetric) Name() string { return "partner_latencies" }
+
+// Add folds one record in (non-HB records are ignored).
+func (m *PartnerLatenciesMetric) Add(r *dataset.SiteRecord) {
+	if !r.HB {
+		return
 	}
-	out := make([]PartnerLatencySummary, 0, len(byPartner))
-	for slug, xs := range byPartner {
+	for slug, ls := range r.PartnerLatencyMS {
+		m.byPartner[slug] = append(m.byPartner[slug], ls...)
+	}
+}
+
+// NewShard returns a fresh empty accumulator.
+func (m *PartnerLatenciesMetric) NewShard() Metric { return NewPartnerLatencies() }
+
+// Merge folds a shard in.
+func (m *PartnerLatenciesMetric) Merge(other Metric) {
+	mergeSamples(m.byPartner, mergeArg[*PartnerLatenciesMetric](m, other).byPartner)
+}
+
+// Snapshot returns Result.
+func (m *PartnerLatenciesMetric) Snapshot() any { return m.Result() }
+
+// Result summarizes every partner's latency profile, sorted by slug.
+func (m *PartnerLatenciesMetric) Result() []PartnerLatencySummary {
+	out := make([]PartnerLatencySummary, 0, len(m.byPartner))
+	for slug, xs := range m.byPartner {
 		box, err := stats.BoxOf(xs)
 		if err != nil {
 			continue
@@ -113,6 +181,19 @@ func PartnerLatencies(recs []*dataset.SiteRecord) []PartnerLatencySummary {
 	return out
 }
 
+// Extremes computes Figure 14 over everything added. k bounds each
+// group; minSamples filters out partners with too few observations to
+// summarize honestly.
+func (m *PartnerLatenciesMetric) Extremes(reg *partners.Registry, k, minSamples int) PartnerLatencyExtremes {
+	return extremesOf(m.Result(), reg, k, minSamples)
+}
+
+// PartnerLatencies aggregates observed per-partner bid latencies across
+// the dataset (the raw material of Figures 14 and 16).
+func PartnerLatencies(recs []*dataset.SiteRecord) []PartnerLatencySummary {
+	return foldAll(NewPartnerLatencies(), recs).Result()
+}
+
 // PartnerLatencyExtremes is Figure 14: the fastest partners, the top
 // partners by market share, and the slowest partners.
 type PartnerLatencyExtremes struct {
@@ -121,10 +202,8 @@ type PartnerLatencyExtremes struct {
 	Slowest []PartnerLatencySummary
 }
 
-// LatencyExtremes computes Figure 14. k bounds each group; minSamples
-// filters out partners with too few observations to summarize honestly.
-func LatencyExtremes(recs []*dataset.SiteRecord, reg *partners.Registry, k, minSamples int) PartnerLatencyExtremes {
-	all := PartnerLatencies(recs)
+// extremesOf computes Figure 14 from the full per-partner summary list.
+func extremesOf(all []PartnerLatencySummary, reg *partners.Registry, k, minSamples int) PartnerLatencyExtremes {
 	var eligible []PartnerLatencySummary
 	for _, p := range all {
 		if p.Samples >= minSamples {
@@ -157,6 +236,12 @@ func LatencyExtremes(recs []*dataset.SiteRecord, reg *partners.Registry, k, minS
 	return res
 }
 
+// LatencyExtremes computes Figure 14. k bounds each group; minSamples
+// filters out partners with too few observations to summarize honestly.
+func LatencyExtremes(recs []*dataset.SiteRecord, reg *partners.Registry, k, minSamples int) PartnerLatencyExtremes {
+	return foldAll(NewPartnerLatencies(), recs).Extremes(reg, k, minSamples)
+}
+
 // CountLatency is Figure 15: latency and site share at one partner count.
 type CountLatency struct {
 	Partners  int
@@ -165,38 +250,73 @@ type CountLatency struct {
 	SiteShare float64
 }
 
-// LatencyVsPartnerCount reproduces Figure 15.
-func LatencyVsPartnerCount(recs []*dataset.SiteRecord, maxPartners int) []CountLatency {
+// LatencyVsPartnerCountMetric accumulates Figure 15 incrementally:
+// per-domain partner counts (first HB record wins) plus latency samples
+// per capped partner count over every HB record.
+type LatencyVsPartnerCountMetric struct {
+	maxPartners int
+	sites       firstOf[int]
+	byCount     map[int][]float64
+}
+
+// NewLatencyVsPartnerCount returns an empty Figure-15 metric
+// (maxPartners<=0 uses the paper's 15; higher counts are clamped).
+func NewLatencyVsPartnerCount(maxPartners int) *LatencyVsPartnerCountMetric {
 	if maxPartners <= 0 {
 		maxPartners = 15
 	}
-	byCount := map[int][]float64{}
+	return &LatencyVsPartnerCountMetric{
+		maxPartners: maxPartners,
+		sites:       newFirstOf[int](),
+		byCount:     make(map[int][]float64),
+	}
+}
+
+// Name identifies the metric.
+func (m *LatencyVsPartnerCountMetric) Name() string { return "latency_vs_partner_count" }
+
+// Add folds one record in (non-HB records are ignored).
+func (m *LatencyVsPartnerCountMetric) Add(r *dataset.SiteRecord) {
+	if !r.HB {
+		return
+	}
+	n := len(r.Partners)
+	m.sites.add(r.Domain, r.VisitDay, n)
+	if n > 0 && r.TotalHBLatencyMS > 0 {
+		c := min(n, m.maxPartners)
+		m.byCount[c] = append(m.byCount[c], r.TotalHBLatencyMS)
+	}
+}
+
+// NewShard returns a fresh empty accumulator with the same cap.
+func (m *LatencyVsPartnerCountMetric) NewShard() Metric {
+	return NewLatencyVsPartnerCount(m.maxPartners)
+}
+
+// Merge folds a shard in.
+func (m *LatencyVsPartnerCountMetric) Merge(other Metric) {
+	o := mergeArg[*LatencyVsPartnerCountMetric](m, other)
+	m.sites.merge(o.sites)
+	mergeSamples(m.byCount, o.byCount)
+}
+
+// Snapshot returns Result.
+func (m *LatencyVsPartnerCountMetric) Snapshot() any { return m.Result() }
+
+// Result computes the Figure-15 rows over everything added.
+func (m *LatencyVsPartnerCountMetric) Result() []CountLatency {
 	siteCount := map[int]int{}
 	totalSites := 0
-	for _, r := range dedupeByDomain(hbRecords(recs)) {
-		n := len(r.Partners)
+	m.sites.each(func(_ string, n int) {
 		if n == 0 {
-			continue
+			return
 		}
-		if n > maxPartners {
-			n = maxPartners
-		}
-		siteCount[n]++
+		siteCount[min(n, m.maxPartners)]++
 		totalSites++
-	}
-	for _, r := range hbRecords(recs) {
-		n := len(r.Partners)
-		if n == 0 || r.TotalHBLatencyMS <= 0 {
-			continue
-		}
-		if n > maxPartners {
-			n = maxPartners
-		}
-		byCount[n] = append(byCount[n], r.TotalHBLatencyMS)
-	}
+	})
 	var out []CountLatency
-	for n := 1; n <= maxPartners; n++ {
-		xs := byCount[n]
+	for n := 1; n <= m.maxPartners; n++ {
+		xs := m.byCount[n]
 		if len(xs) == 0 {
 			continue
 		}
@@ -214,26 +334,68 @@ func LatencyVsPartnerCount(recs []*dataset.SiteRecord, maxPartners int) []CountL
 	return out
 }
 
+// LatencyVsPartnerCount reproduces Figure 15.
+func LatencyVsPartnerCount(recs []*dataset.SiteRecord, maxPartners int) []CountLatency {
+	return foldAll(NewLatencyVsPartnerCount(maxPartners), recs).Result()
+}
+
+// LatencyVsPopularityMetric accumulates Figure 16 incrementally:
+// per-popularity-rank-bin latency samples.
+type LatencyVsPopularityMetric struct {
+	reg *partners.Registry
+	b   *stats.Binner
+}
+
+// NewLatencyVsPopularity returns an empty Figure-16 metric (binWidth<=0
+// uses the paper's 10).
+func NewLatencyVsPopularity(reg *partners.Registry, binWidth int) *LatencyVsPopularityMetric {
+	if binWidth <= 0 {
+		binWidth = 10
+	}
+	return &LatencyVsPopularityMetric{reg: reg, b: stats.NewBinner(binWidth)}
+}
+
+// Name identifies the metric.
+func (m *LatencyVsPopularityMetric) Name() string { return "latency_vs_popularity" }
+
+// Add folds one record in (non-HB records are ignored).
+func (m *LatencyVsPopularityMetric) Add(r *dataset.SiteRecord) {
+	if !r.HB {
+		return
+	}
+	for slug, ls := range r.PartnerLatencyMS {
+		rank, ok := m.reg.PopularityRank(slug)
+		if !ok {
+			continue
+		}
+		for _, l := range ls {
+			m.b.Add(rank-1, l)
+		}
+	}
+}
+
+// NewShard returns a fresh empty accumulator with the same registry and
+// bin width.
+func (m *LatencyVsPopularityMetric) NewShard() Metric {
+	return NewLatencyVsPopularity(m.reg, m.b.Width)
+}
+
+// Merge folds a shard in.
+func (m *LatencyVsPopularityMetric) Merge(other Metric) {
+	m.b.Merge(mergeArg[*LatencyVsPopularityMetric](m, other).b)
+}
+
+// Snapshot returns Result.
+func (m *LatencyVsPopularityMetric) Snapshot() any { return m.Result() }
+
+// Result computes the per-bin whisker summaries over everything added.
+func (m *LatencyVsPopularityMetric) Result() []stats.BinSummary { return m.b.Summaries() }
+
 // LatencyVsPopularity reproduces Figure 16: per-popularity-rank-bin
 // latency whiskers (partners ranked by registry popularity, bins of
 // binWidth, the paper uses 10).
 func LatencyVsPopularity(recs []*dataset.SiteRecord, reg *partners.Registry, binWidth int) []stats.BinSummary {
-	if binWidth <= 0 {
-		binWidth = 10
-	}
-	b := stats.NewBinner(binWidth)
-	for _, r := range hbRecords(recs) {
-		for slug, ls := range r.PartnerLatencyMS {
-			rank, ok := reg.PopularityRank(slug)
-			if !ok {
-				continue
-			}
-			for _, l := range ls {
-				b.Add(rank-1, l)
-			}
-		}
-	}
-	return b.Summaries()
+	return foldAll(NewLatencyVsPopularity(reg, binWidth), recs).Result()
 }
 
 // ---------------------------------------------------------------------------
@@ -256,48 +418,90 @@ type LateBidsResult struct {
 	P90LateShare    float64
 }
 
-// LateBids computes Figure 17.
-func LateBids(recs []*dataset.SiteRecord) LateBidsResult {
-	var shares []float64
-	res := LateBidsResult{}
-	one, twoPlus, fourPlus := 0, 0, 0
-	for _, r := range hbRecords(recs) {
-		for _, a := range r.Auctions {
-			if len(a.Bids) == 0 {
-				continue
-			}
-			res.TotalAuctions++
-			late := 0
-			for _, b := range a.Bids {
-				if b.Late {
-					late++
-				}
-			}
-			if late == 0 {
-				continue
-			}
-			res.AuctionsWithLate++
-			shares = append(shares, 100*float64(late)/float64(len(a.Bids)))
-			if late == 1 {
-				one++
-			}
-			if late >= 2 {
-				twoPlus++
-			}
-			if late >= 4 {
-				fourPlus++
+// LateBidsMetric accumulates Figure 17 incrementally: per-auction late
+// shares plus prevalence counters.
+type LateBidsMetric struct {
+	shares                  []float64
+	totalAuctions, withLate int
+	one, twoPlus, fourPlus  int
+}
+
+// NewLateBids returns an empty Figure-17 metric.
+func NewLateBids() *LateBidsMetric { return &LateBidsMetric{} }
+
+// Name identifies the metric.
+func (m *LateBidsMetric) Name() string { return "late_bids" }
+
+// Add folds one record in (non-HB records are ignored).
+func (m *LateBidsMetric) Add(r *dataset.SiteRecord) {
+	if !r.HB {
+		return
+	}
+	for _, a := range r.Auctions {
+		if len(a.Bids) == 0 {
+			continue
+		}
+		m.totalAuctions++
+		late := 0
+		for _, b := range a.Bids {
+			if b.Late {
+				late++
 			}
 		}
+		if late == 0 {
+			continue
+		}
+		m.withLate++
+		m.shares = append(m.shares, 100*float64(late)/float64(len(a.Bids)))
+		if late == 1 {
+			m.one++
+		}
+		if late >= 2 {
+			m.twoPlus++
+		}
+		if late >= 4 {
+			m.fourPlus++
+		}
 	}
-	res.ECDF = stats.NewECDF(shares)
-	if res.AuctionsWithLate > 0 {
-		res.FracOneLate = float64(one) / float64(res.AuctionsWithLate)
-		res.FracTwoPlus = float64(twoPlus) / float64(res.AuctionsWithLate)
-		res.FracFourPlus = float64(fourPlus) / float64(res.AuctionsWithLate)
+}
+
+// NewShard returns a fresh empty accumulator.
+func (m *LateBidsMetric) NewShard() Metric { return NewLateBids() }
+
+// Merge folds a shard in.
+func (m *LateBidsMetric) Merge(other Metric) {
+	o := mergeArg[*LateBidsMetric](m, other)
+	m.shares = append(m.shares, o.shares...)
+	m.totalAuctions += o.totalAuctions
+	m.withLate += o.withLate
+	m.one += o.one
+	m.twoPlus += o.twoPlus
+	m.fourPlus += o.fourPlus
+}
+
+// Snapshot returns Result.
+func (m *LateBidsMetric) Snapshot() any { return m.Result() }
+
+// Result computes Figure 17 over everything added.
+func (m *LateBidsMetric) Result() LateBidsResult {
+	res := LateBidsResult{
+		ECDF:             stats.NewECDF(m.shares),
+		AuctionsWithLate: m.withLate,
+		TotalAuctions:    m.totalAuctions,
+	}
+	if m.withLate > 0 {
+		res.FracOneLate = float64(m.one) / float64(m.withLate)
+		res.FracTwoPlus = float64(m.twoPlus) / float64(m.withLate)
+		res.FracFourPlus = float64(m.fourPlus) / float64(m.withLate)
 		res.MedianLateShare = res.ECDF.Quantile(0.5)
 		res.P90LateShare = res.ECDF.Quantile(0.9)
 	}
 	return res
+}
+
+// LateBids computes Figure 17.
+func LateBids(recs []*dataset.SiteRecord) LateBidsResult {
+	return foldAll(NewLateBids(), recs).Result()
 }
 
 // PartnerLateShare is Figure 18: one partner's late-bid rate.
@@ -308,37 +512,73 @@ type PartnerLateShare struct {
 	LateShare float64
 }
 
-// LateBidsPerPartner computes Figure 18, descending by late share;
-// minBids filters noise; k<=0 returns all.
-func LateBidsPerPartner(recs []*dataset.SiteRecord, k, minBids int) []PartnerLateShare {
-	type acc struct{ bids, late int }
-	byPartner := map[string]*acc{}
-	for _, r := range hbRecords(recs) {
-		for _, a := range r.Auctions {
-			for _, b := range a.Bids {
-				if b.Source == "s2s" {
-					continue // lateness is unobservable server-side
-				}
-				a := byPartner[b.Bidder]
-				if a == nil {
-					a = &acc{}
-					byPartner[b.Bidder] = a
-				}
-				a.bids++
-				if b.Late {
-					a.late++
-				}
+// LateBidsPerPartnerMetric accumulates Figure 18 incrementally:
+// per-partner bid and late-bid counters.
+type LateBidsPerPartnerMetric struct {
+	k, minBids int
+	bids       map[string]int
+	late       map[string]int
+}
+
+// NewLateBidsPerPartner returns an empty Figure-18 metric; minBids
+// filters noise; k<=0 reports all.
+func NewLateBidsPerPartner(k, minBids int) *LateBidsPerPartnerMetric {
+	return &LateBidsPerPartnerMetric{
+		k: k, minBids: minBids,
+		bids: make(map[string]int),
+		late: make(map[string]int),
+	}
+}
+
+// Name identifies the metric.
+func (m *LateBidsPerPartnerMetric) Name() string { return "late_bids_per_partner" }
+
+// Add folds one record in (non-HB records are ignored; server-side bids
+// are skipped — lateness is unobservable there).
+func (m *LateBidsPerPartnerMetric) Add(r *dataset.SiteRecord) {
+	if !r.HB {
+		return
+	}
+	for _, a := range r.Auctions {
+		for _, b := range a.Bids {
+			if b.Source == "s2s" {
+				continue
+			}
+			m.bids[b.Bidder]++
+			if b.Late {
+				m.late[b.Bidder]++
 			}
 		}
 	}
+}
+
+// NewShard returns a fresh empty accumulator with the same filters.
+func (m *LateBidsPerPartnerMetric) NewShard() Metric {
+	return NewLateBidsPerPartner(m.k, m.minBids)
+}
+
+// Merge folds a shard in.
+func (m *LateBidsPerPartnerMetric) Merge(other Metric) {
+	o := mergeArg[*LateBidsPerPartnerMetric](m, other)
+	mergeCounts(m.bids, o.bids)
+	mergeCounts(m.late, o.late)
+}
+
+// Snapshot returns Result.
+func (m *LateBidsPerPartnerMetric) Snapshot() any { return m.Result() }
+
+// Result computes Figure 18 over everything added, descending by late
+// share.
+func (m *LateBidsPerPartnerMetric) Result() []PartnerLateShare {
 	var out []PartnerLateShare
-	for slug, a := range byPartner {
-		if a.bids < minBids {
+	for slug, bids := range m.bids {
+		if bids < m.minBids {
 			continue
 		}
+		late := m.late[slug]
 		out = append(out, PartnerLateShare{
-			Slug: slug, Bids: a.bids, LateBids: a.late,
-			LateShare: float64(a.late) / float64(a.bids),
+			Slug: slug, Bids: bids, LateBids: late,
+			LateShare: float64(late) / float64(bids),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -347,8 +587,14 @@ func LateBidsPerPartner(recs []*dataset.SiteRecord, k, minBids int) []PartnerLat
 		}
 		return out[i].Slug < out[j].Slug
 	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
+	if m.k > 0 && len(out) > m.k {
+		out = out[:m.k]
 	}
 	return out
+}
+
+// LateBidsPerPartner computes Figure 18, descending by late share;
+// minBids filters noise; k<=0 returns all.
+func LateBidsPerPartner(recs []*dataset.SiteRecord, k, minBids int) []PartnerLateShare {
+	return foldAll(NewLateBidsPerPartner(k, minBids), recs).Result()
 }

@@ -22,21 +22,58 @@ type SlotsPerSiteResult struct {
 	FracOver20 float64
 }
 
-// SlotsPerSite computes Figure 19.
-func SlotsPerSite(recs []*dataset.SiteRecord) SlotsPerSiteResult {
+// SlotsPerSiteMetric accumulates Figure 19 incrementally: the auctioned
+// slot count and facet of the first HB record per domain.
+type SlotsPerSiteMetric struct {
+	sites firstOf[siteSlots]
+}
+
+type siteSlots struct {
+	slots int
+	facet hb.Facet
+}
+
+// NewSlotsPerSite returns an empty Figure-19 metric.
+func NewSlotsPerSite() *SlotsPerSiteMetric {
+	return &SlotsPerSiteMetric{sites: newFirstOf[siteSlots]()}
+}
+
+// Name identifies the metric.
+func (m *SlotsPerSiteMetric) Name() string { return "slots_per_site" }
+
+// Add folds one record in (non-HB records are ignored).
+func (m *SlotsPerSiteMetric) Add(r *dataset.SiteRecord) {
+	if !r.HB {
+		return
+	}
+	m.sites.add(r.Domain, r.VisitDay, siteSlots{slots: r.AdSlotsAuctioned, facet: r.FacetValue()})
+}
+
+// NewShard returns a fresh empty accumulator.
+func (m *SlotsPerSiteMetric) NewShard() Metric { return NewSlotsPerSite() }
+
+// Merge folds a shard in.
+func (m *SlotsPerSiteMetric) Merge(other Metric) {
+	m.sites.merge(mergeArg[*SlotsPerSiteMetric](m, other).sites)
+}
+
+// Snapshot returns Result.
+func (m *SlotsPerSiteMetric) Snapshot() any { return m.Result() }
+
+// Result computes Figure 19 over everything added.
+func (m *SlotsPerSiteMetric) Result() SlotsPerSiteResult {
 	byFacet := map[hb.Facet][]float64{}
 	over20, total := 0, 0
-	for _, r := range dedupeByDomain(hbRecords(recs)) {
-		if r.AdSlotsAuctioned <= 0 {
-			continue
+	m.sites.each(func(_ string, s siteSlots) {
+		if s.slots <= 0 {
+			return
 		}
-		f := r.FacetValue()
-		byFacet[f] = append(byFacet[f], float64(r.AdSlotsAuctioned))
+		byFacet[s.facet] = append(byFacet[s.facet], float64(s.slots))
 		total++
-		if r.AdSlotsAuctioned > 20 {
+		if s.slots > 20 {
 			over20++
 		}
-	}
+	})
 	res := SlotsPerSiteResult{ByFacet: map[hb.Facet]*stats.ECDF{}}
 	for f, xs := range byFacet {
 		res.ByFacet[f] = stats.NewECDF(xs)
@@ -47,26 +84,59 @@ func SlotsPerSite(recs []*dataset.SiteRecord) SlotsPerSiteResult {
 	return res
 }
 
-// LatencyVsSlots reproduces Figure 20: latency whiskers per auctioned
-// slot count (1..maxSlots, higher counts clamped).
-func LatencyVsSlots(recs []*dataset.SiteRecord, maxSlots int) []CountLatency {
+// SlotsPerSite computes Figure 19.
+func SlotsPerSite(recs []*dataset.SiteRecord) SlotsPerSiteResult {
+	return foldAll(NewSlotsPerSite(), recs).Result()
+}
+
+// LatencyVsSlotsMetric accumulates Figure 20 incrementally: latency
+// samples per clamped auctioned-slot count over every HB record.
+type LatencyVsSlotsMetric struct {
+	maxSlots int
+	byCount  map[int][]float64
+}
+
+// NewLatencyVsSlots returns an empty Figure-20 metric (maxSlots<=0 uses
+// 15; higher counts are clamped).
+func NewLatencyVsSlots(maxSlots int) *LatencyVsSlotsMetric {
 	if maxSlots <= 0 {
 		maxSlots = 15
 	}
-	byCount := map[int][]float64{}
-	for _, r := range hbRecords(recs) {
-		n := r.AdSlotsAuctioned
-		if n <= 0 || r.TotalHBLatencyMS <= 0 {
-			continue
-		}
-		if n > maxSlots {
-			n = maxSlots
-		}
-		byCount[n] = append(byCount[n], r.TotalHBLatencyMS)
+	return &LatencyVsSlotsMetric{maxSlots: maxSlots, byCount: make(map[int][]float64)}
+}
+
+// Name identifies the metric.
+func (m *LatencyVsSlotsMetric) Name() string { return "latency_vs_slots" }
+
+// Add folds one record in (non-HB records are ignored).
+func (m *LatencyVsSlotsMetric) Add(r *dataset.SiteRecord) {
+	if !r.HB {
+		return
 	}
+	n := r.AdSlotsAuctioned
+	if n <= 0 || r.TotalHBLatencyMS <= 0 {
+		return
+	}
+	c := min(n, m.maxSlots)
+	m.byCount[c] = append(m.byCount[c], r.TotalHBLatencyMS)
+}
+
+// NewShard returns a fresh empty accumulator with the same clamp.
+func (m *LatencyVsSlotsMetric) NewShard() Metric { return NewLatencyVsSlots(m.maxSlots) }
+
+// Merge folds a shard in.
+func (m *LatencyVsSlotsMetric) Merge(other Metric) {
+	mergeSamples(m.byCount, mergeArg[*LatencyVsSlotsMetric](m, other).byCount)
+}
+
+// Snapshot returns Result.
+func (m *LatencyVsSlotsMetric) Snapshot() any { return m.Result() }
+
+// Result computes the Figure-20 rows over everything added.
+func (m *LatencyVsSlotsMetric) Result() []CountLatency {
 	var out []CountLatency
-	for n := 1; n <= maxSlots; n++ {
-		xs := byCount[n]
+	for n := 1; n <= m.maxSlots; n++ {
+		xs := m.byCount[n]
 		box, err := stats.BoxOf(xs)
 		if err != nil {
 			continue
@@ -74,6 +144,12 @@ func LatencyVsSlots(recs []*dataset.SiteRecord, maxSlots int) []CountLatency {
 		out = append(out, CountLatency{Partners: n, Stats: box, Sites: len(xs)})
 	}
 	return out
+}
+
+// LatencyVsSlots reproduces Figure 20: latency whiskers per auctioned
+// slot count (1..maxSlots, higher counts clamped).
+func LatencyVsSlots(recs []*dataset.SiteRecord, maxSlots int) []CountLatency {
+	return foldAll(NewLatencyVsSlots(maxSlots), recs).Result()
 }
 
 // SizeShare is Figure 21: one slot dimension's share of auctioned slots
@@ -84,26 +160,71 @@ type SizeShare struct {
 	Share float64
 }
 
-// SlotSizes computes Figure 21: top slot dimensions per facet; k<=0
-// returns all.
-func SlotSizes(recs []*dataset.SiteRecord, k int) map[hb.Facet][]SizeShare {
+// SlotSizesMetric accumulates Figure 21 incrementally: per-facet slot
+// dimension counts over every HB record's auctions.
+type SlotSizesMetric struct {
+	k      int
+	counts map[hb.Facet]map[hb.Size]int
+	totals map[hb.Facet]int
+}
+
+// NewSlotSizes returns an empty Figure-21 metric; k<=0 reports all.
+func NewSlotSizes(k int) *SlotSizesMetric {
+	m := &SlotSizesMetric{
+		k:      k,
+		counts: make(map[hb.Facet]map[hb.Size]int, 3),
+		totals: make(map[hb.Facet]int, 3),
+	}
+	for _, f := range hb.Facets() {
+		m.counts[f] = map[hb.Size]int{}
+	}
+	return m
+}
+
+// Name identifies the metric.
+func (m *SlotSizesMetric) Name() string { return "slot_sizes" }
+
+// Add folds one record in (non-HB and unknown-facet records are ignored).
+func (m *SlotSizesMetric) Add(r *dataset.SiteRecord) {
+	if !r.HB {
+		return
+	}
+	f := r.FacetValue()
+	counts := m.counts[f]
+	if counts == nil {
+		return
+	}
+	for _, a := range r.Auctions {
+		sz, err := hb.ParseSize(a.Size)
+		if err != nil {
+			continue
+		}
+		counts[sz]++
+		m.totals[f]++
+	}
+}
+
+// NewShard returns a fresh empty accumulator with the same k.
+func (m *SlotSizesMetric) NewShard() Metric { return NewSlotSizes(m.k) }
+
+// Merge folds a shard in.
+func (m *SlotSizesMetric) Merge(other Metric) {
+	o := mergeArg[*SlotSizesMetric](m, other)
+	for f, counts := range o.counts {
+		mergeCounts(m.counts[f], counts)
+	}
+	mergeCounts(m.totals, o.totals)
+}
+
+// Snapshot returns Result.
+func (m *SlotSizesMetric) Snapshot() any { return m.Result() }
+
+// Result computes the per-facet dimension shares over everything added.
+func (m *SlotSizesMetric) Result() map[hb.Facet][]SizeShare {
 	out := map[hb.Facet][]SizeShare{}
 	for _, facet := range hb.Facets() {
-		counts := map[hb.Size]int{}
-		total := 0
-		for _, r := range hbRecords(recs) {
-			if r.FacetValue() != facet {
-				continue
-			}
-			for _, a := range r.Auctions {
-				sz, err := hb.ParseSize(a.Size)
-				if err != nil {
-					continue
-				}
-				counts[sz]++
-				total++
-			}
-		}
+		counts := m.counts[facet]
+		total := m.totals[facet]
 		shares := make([]SizeShare, 0, len(counts))
 		for sz, n := range counts {
 			shares = append(shares, SizeShare{
@@ -116,12 +237,18 @@ func SlotSizes(recs []*dataset.SiteRecord, k int) map[hb.Facet][]SizeShare {
 			}
 			return shares[i].Size.String() < shares[j].Size.String()
 		})
-		if k > 0 && len(shares) > k {
-			shares = shares[:k]
+		if m.k > 0 && len(shares) > m.k {
+			shares = shares[:m.k]
 		}
 		out[facet] = shares
 	}
 	return out
+}
+
+// SlotSizes computes Figure 21: top slot dimensions per facet; k<=0
+// returns all.
+func SlotSizes(recs []*dataset.SiteRecord, k int) map[hb.Facet][]SizeShare {
+	return foldAll(NewSlotSizes(k), recs).Result()
 }
 
 // ---------------------------------------------------------------------------
@@ -136,33 +263,71 @@ type PriceCDFResult struct {
 	FracOverHalf float64
 }
 
-// PriceCDF computes Figure 22 from every observed bid.
-func PriceCDF(recs []*dataset.SiteRecord) PriceCDFResult {
-	byFacet := map[hb.Facet][]float64{}
-	over, total := 0, 0
-	for _, r := range hbRecords(recs) {
-		f := r.FacetValue()
-		for _, a := range r.Auctions {
-			for _, b := range a.Bids {
-				if b.CPM <= 0 {
-					continue
-				}
-				byFacet[f] = append(byFacet[f], b.CPM)
-				total++
-				if b.CPM > 0.5 {
-					over++
-				}
+// PriceCDFMetric accumulates Figure 22 incrementally: per-facet CPM
+// samples over every observed bid.
+type PriceCDFMetric struct {
+	byFacet     map[hb.Facet][]float64
+	over, total int
+}
+
+// NewPriceCDF returns an empty Figure-22 metric.
+func NewPriceCDF() *PriceCDFMetric {
+	return &PriceCDFMetric{byFacet: make(map[hb.Facet][]float64)}
+}
+
+// Name identifies the metric.
+func (m *PriceCDFMetric) Name() string { return "price_cdf" }
+
+// Add folds one record in (non-HB records and non-positive CPMs are
+// ignored).
+func (m *PriceCDFMetric) Add(r *dataset.SiteRecord) {
+	if !r.HB {
+		return
+	}
+	f := r.FacetValue()
+	for _, a := range r.Auctions {
+		for _, b := range a.Bids {
+			if b.CPM <= 0 {
+				continue
+			}
+			m.byFacet[f] = append(m.byFacet[f], b.CPM)
+			m.total++
+			if b.CPM > 0.5 {
+				m.over++
 			}
 		}
 	}
+}
+
+// NewShard returns a fresh empty accumulator.
+func (m *PriceCDFMetric) NewShard() Metric { return NewPriceCDF() }
+
+// Merge folds a shard in.
+func (m *PriceCDFMetric) Merge(other Metric) {
+	o := mergeArg[*PriceCDFMetric](m, other)
+	mergeSamples(m.byFacet, o.byFacet)
+	m.over += o.over
+	m.total += o.total
+}
+
+// Snapshot returns Result.
+func (m *PriceCDFMetric) Snapshot() any { return m.Result() }
+
+// Result computes Figure 22 over everything added.
+func (m *PriceCDFMetric) Result() PriceCDFResult {
 	res := PriceCDFResult{ByFacet: map[hb.Facet]*stats.ECDF{}}
-	for f, xs := range byFacet {
+	for f, xs := range m.byFacet {
 		res.ByFacet[f] = stats.NewECDF(xs)
 	}
-	if total > 0 {
-		res.FracOverHalf = float64(over) / float64(total)
+	if m.total > 0 {
+		res.FracOverHalf = float64(m.over) / float64(m.total)
 	}
 	return res
+}
+
+// PriceCDF computes Figure 22 from every observed bid.
+func PriceCDF(recs []*dataset.SiteRecord) PriceCDFResult {
+	return foldAll(NewPriceCDF(), recs).Result()
 }
 
 // SizePrice is Figure 23: price distribution for one slot dimension.
@@ -172,30 +337,62 @@ type SizePrice struct {
 	Bids  int
 }
 
-// PricePerSize computes Figure 23, ordered by slot area (the paper's
-// x-axis ordering); minBids filters sparsely observed sizes.
-func PricePerSize(recs []*dataset.SiteRecord, minBids int) []SizePrice {
-	bySize := map[hb.Size][]float64{}
-	for _, r := range hbRecords(recs) {
-		for _, a := range r.Auctions {
-			for _, b := range a.Bids {
-				if b.CPM <= 0 {
+// PricePerSizeMetric accumulates Figure 23 incrementally: CPM samples
+// per slot dimension.
+type PricePerSizeMetric struct {
+	minBids int
+	bySize  map[hb.Size][]float64
+}
+
+// NewPricePerSize returns an empty Figure-23 metric; minBids filters
+// sparsely observed sizes.
+func NewPricePerSize(minBids int) *PricePerSizeMetric {
+	return &PricePerSizeMetric{minBids: minBids, bySize: make(map[hb.Size][]float64)}
+}
+
+// Name identifies the metric.
+func (m *PricePerSizeMetric) Name() string { return "price_per_size" }
+
+// Add folds one record in (non-HB records are ignored; a bid with no
+// parseable size falls back to its auction's size).
+func (m *PricePerSizeMetric) Add(r *dataset.SiteRecord) {
+	if !r.HB {
+		return
+	}
+	for _, a := range r.Auctions {
+		for _, b := range a.Bids {
+			if b.CPM <= 0 {
+				continue
+			}
+			sz, err := hb.ParseSize(b.Size)
+			if err != nil {
+				sz, err = hb.ParseSize(a.Size)
+				if err != nil {
 					continue
 				}
-				sz, err := hb.ParseSize(b.Size)
-				if err != nil {
-					sz, err = hb.ParseSize(a.Size)
-					if err != nil {
-						continue
-					}
-				}
-				bySize[sz] = append(bySize[sz], b.CPM)
 			}
+			m.bySize[sz] = append(m.bySize[sz], b.CPM)
 		}
 	}
+}
+
+// NewShard returns a fresh empty accumulator with the same filter.
+func (m *PricePerSizeMetric) NewShard() Metric { return NewPricePerSize(m.minBids) }
+
+// Merge folds a shard in.
+func (m *PricePerSizeMetric) Merge(other Metric) {
+	mergeSamples(m.bySize, mergeArg[*PricePerSizeMetric](m, other).bySize)
+}
+
+// Snapshot returns Result.
+func (m *PricePerSizeMetric) Snapshot() any { return m.Result() }
+
+// Result computes Figure 23 over everything added, ordered by slot area
+// (the paper's x-axis ordering).
+func (m *PricePerSizeMetric) Result() []SizePrice {
 	var out []SizePrice
-	for sz, xs := range bySize {
-		if len(xs) < minBids {
+	for sz, xs := range m.bySize {
+		if len(xs) < m.minBids {
 			continue
 		}
 		box, err := stats.BoxOf(xs)
@@ -213,26 +410,69 @@ func PricePerSize(recs []*dataset.SiteRecord, minBids int) []SizePrice {
 	return out
 }
 
-// PriceVsPopularity reproduces Figure 24: bid-price whiskers per
-// partner-popularity bin (bins of binWidth, the paper uses 10).
-func PriceVsPopularity(recs []*dataset.SiteRecord, reg *partners.Registry, binWidth int) []stats.BinSummary {
+// PricePerSize computes Figure 23, ordered by slot area (the paper's
+// x-axis ordering); minBids filters sparsely observed sizes.
+func PricePerSize(recs []*dataset.SiteRecord, minBids int) []SizePrice {
+	return foldAll(NewPricePerSize(minBids), recs).Result()
+}
+
+// PriceVsPopularityMetric accumulates Figure 24 incrementally: CPM
+// samples per partner-popularity bin.
+type PriceVsPopularityMetric struct {
+	reg *partners.Registry
+	b   *stats.Binner
+}
+
+// NewPriceVsPopularity returns an empty Figure-24 metric (binWidth<=0
+// uses the paper's 10).
+func NewPriceVsPopularity(reg *partners.Registry, binWidth int) *PriceVsPopularityMetric {
 	if binWidth <= 0 {
 		binWidth = 10
 	}
-	b := stats.NewBinner(binWidth)
-	for _, r := range hbRecords(recs) {
-		for _, a := range r.Auctions {
-			for _, bd := range a.Bids {
-				if bd.CPM <= 0 {
-					continue
-				}
-				rank, ok := reg.PopularityRank(bd.Bidder)
-				if !ok {
-					continue
-				}
-				b.Add(rank-1, bd.CPM)
+	return &PriceVsPopularityMetric{reg: reg, b: stats.NewBinner(binWidth)}
+}
+
+// Name identifies the metric.
+func (m *PriceVsPopularityMetric) Name() string { return "price_vs_popularity" }
+
+// Add folds one record in (non-HB records are ignored).
+func (m *PriceVsPopularityMetric) Add(r *dataset.SiteRecord) {
+	if !r.HB {
+		return
+	}
+	for _, a := range r.Auctions {
+		for _, bd := range a.Bids {
+			if bd.CPM <= 0 {
+				continue
 			}
+			rank, ok := m.reg.PopularityRank(bd.Bidder)
+			if !ok {
+				continue
+			}
+			m.b.Add(rank-1, bd.CPM)
 		}
 	}
-	return b.Summaries()
+}
+
+// NewShard returns a fresh empty accumulator with the same registry and
+// bin width.
+func (m *PriceVsPopularityMetric) NewShard() Metric {
+	return NewPriceVsPopularity(m.reg, m.b.Width)
+}
+
+// Merge folds a shard in.
+func (m *PriceVsPopularityMetric) Merge(other Metric) {
+	m.b.Merge(mergeArg[*PriceVsPopularityMetric](m, other).b)
+}
+
+// Snapshot returns Result.
+func (m *PriceVsPopularityMetric) Snapshot() any { return m.Result() }
+
+// Result computes the per-bin whisker summaries over everything added.
+func (m *PriceVsPopularityMetric) Result() []stats.BinSummary { return m.b.Summaries() }
+
+// PriceVsPopularity reproduces Figure 24: bid-price whiskers per
+// partner-popularity bin (bins of binWidth, the paper uses 10).
+func PriceVsPopularity(recs []*dataset.SiteRecord, reg *partners.Registry, binWidth int) []stats.BinSummary {
+	return foldAll(NewPriceVsPopularity(reg, binWidth), recs).Result()
 }

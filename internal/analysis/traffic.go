@@ -32,44 +32,97 @@ type TrafficSummary struct {
 	AmplificationVsWaterfall float64
 }
 
+// TrafficMetric accumulates the §7.3 overhead summary incrementally:
+// per-visit request samples plus facet and fan-out sums. All sums are
+// over integer request counts (exact in float64), so shard merges in any
+// order reproduce the single-pass result bit for bit.
+type TrafficMetric struct {
+	passes float64 // expected waterfall passes for the amplification ratio
+
+	bidReqs, hbRel, total []float64
+	sumByFacet            map[hb.Facet]float64
+	cntByFacet            map[hb.Facet]int
+	fanoutSum             float64
+	fanoutN               int
+}
+
+// NewTraffic returns an empty §7.3 overhead metric.
+// expectedWaterfallPasses is the mean number of passes a waterfall walks
+// before filling (from the paired waterfall experiment; ~1-2 in
+// practice); <=0 disables the amplification estimate.
+func NewTraffic(expectedWaterfallPasses float64) *TrafficMetric {
+	return &TrafficMetric{
+		passes:     expectedWaterfallPasses,
+		sumByFacet: make(map[hb.Facet]float64),
+		cntByFacet: make(map[hb.Facet]int),
+	}
+}
+
+// Name identifies the metric.
+func (m *TrafficMetric) Name() string { return "traffic" }
+
+// Add folds one record in (non-HB records are ignored).
+func (m *TrafficMetric) Add(r *dataset.SiteRecord) {
+	if !r.HB {
+		return
+	}
+	t := r.Traffic
+	m.bidReqs = append(m.bidReqs, float64(t.BidRequests))
+	m.hbRel = append(m.hbRel, float64(t.HBRelated()))
+	m.total = append(m.total, float64(t.Total()))
+	f := r.FacetValue()
+	m.sumByFacet[f] += float64(t.HBRelated())
+	m.cntByFacet[f]++
+	// Fan-out per round: client bid requests plus hosted calls.
+	m.fanoutSum += float64(t.BidRequests + t.HostedCalls)
+	m.fanoutN++
+}
+
+// NewShard returns a fresh empty accumulator with the same passes
+// estimate.
+func (m *TrafficMetric) NewShard() Metric { return NewTraffic(m.passes) }
+
+// Merge folds a shard in.
+func (m *TrafficMetric) Merge(other Metric) {
+	o := mergeArg[*TrafficMetric](m, other)
+	m.bidReqs = append(m.bidReqs, o.bidReqs...)
+	m.hbRel = append(m.hbRel, o.hbRel...)
+	m.total = append(m.total, o.total...)
+	for f, sum := range o.sumByFacet {
+		m.sumByFacet[f] += sum
+	}
+	mergeCounts(m.cntByFacet, o.cntByFacet)
+	m.fanoutSum += o.fanoutSum
+	m.fanoutN += o.fanoutN
+}
+
+// Snapshot returns Result.
+func (m *TrafficMetric) Snapshot() any { return m.Result() }
+
+// Result computes the overhead summary over everything added.
+func (m *TrafficMetric) Result() TrafficSummary {
+	out := TrafficSummary{Sites: m.fanoutN, MeanByFacet: map[hb.Facet]float64{}}
+	if b, err := stats.BoxOf(m.bidReqs); err == nil {
+		out.BidRequests = b
+	}
+	if b, err := stats.BoxOf(m.hbRel); err == nil {
+		out.HBRelated = b
+	}
+	if b, err := stats.BoxOf(m.total); err == nil {
+		out.Total = b
+	}
+	for f, sum := range m.sumByFacet {
+		out.MeanByFacet[f] = sum / float64(max(1, m.cntByFacet[f]))
+	}
+	if m.passes > 0 && m.fanoutN > 0 {
+		out.AmplificationVsWaterfall = (m.fanoutSum / float64(m.fanoutN)) / m.passes
+	}
+	return out
+}
+
 // Traffic computes the overhead summary from a crawl dataset.
 // expectedWaterfallPasses is the mean number of passes a waterfall walks
 // before filling (from the paired waterfall experiment; ~1-2 in practice).
 func Traffic(recs []*dataset.SiteRecord, expectedWaterfallPasses float64) TrafficSummary {
-	var bidReqs, hbRel, total []float64
-	sumByFacet := map[hb.Facet]float64{}
-	cntByFacet := map[hb.Facet]int{}
-	var fanoutSum float64
-	var fanoutN int
-
-	for _, r := range hbRecords(recs) {
-		t := r.Traffic
-		bidReqs = append(bidReqs, float64(t.BidRequests))
-		hbRel = append(hbRel, float64(t.HBRelated()))
-		total = append(total, float64(t.Total()))
-		f := r.FacetValue()
-		sumByFacet[f] += float64(t.HBRelated())
-		cntByFacet[f]++
-		// Fan-out per round: client bid requests plus hosted calls.
-		fanoutSum += float64(t.BidRequests + t.HostedCalls)
-		fanoutN++
-	}
-
-	out := TrafficSummary{Sites: fanoutN, MeanByFacet: map[hb.Facet]float64{}}
-	if b, err := stats.BoxOf(bidReqs); err == nil {
-		out.BidRequests = b
-	}
-	if b, err := stats.BoxOf(hbRel); err == nil {
-		out.HBRelated = b
-	}
-	if b, err := stats.BoxOf(total); err == nil {
-		out.Total = b
-	}
-	for f, sum := range sumByFacet {
-		out.MeanByFacet[f] = sum / float64(max(1, cntByFacet[f]))
-	}
-	if expectedWaterfallPasses > 0 && fanoutN > 0 {
-		out.AmplificationVsWaterfall = (fanoutSum / float64(fanoutN)) / expectedWaterfallPasses
-	}
-	return out
+	return foldAll(NewTraffic(expectedWaterfallPasses), recs).Result()
 }

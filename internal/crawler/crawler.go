@@ -66,6 +66,17 @@ type Options struct {
 	Detector *core.Options
 }
 
+// ResolvedWorkers is the worker count a crawl actually runs with
+// (Workers, defaulting to NumCPU when unset) — and therefore the shard
+// count a FoldFunc observes. Single owner of the defaulting rule; size
+// shard state with this, never with Workers directly.
+func (o Options) ResolvedWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
 // DefaultOptions mirror the paper's crawl configuration with one
 // measurement day.
 func DefaultOptions(seed int64) Options {
@@ -94,6 +105,18 @@ type Visit struct {
 // error from CrawlStream.
 type EmitFunc func(Visit) error
 
+// FoldFunc receives each completed record on the worker goroutine that
+// produced it, before the record enters the ordered reorder window —
+// the sharded accumulation path of the metrics API. shard is the worker
+// index (0 <= shard < resolved Workers): calls with the same shard value
+// are serialized, calls with different shard values run concurrently, so
+// a caller keeping strictly shard-local state needs no locks. Records
+// arrive in per-worker completion order, not crawl order; consumers must
+// be order-insensitive (every analysis.Metric is, by contract). On
+// cancellation or emit error, in-flight visits may still be folded even
+// though they are never emitted.
+type FoldFunc func(shard int, r *dataset.SiteRecord)
+
 type crawlJob struct {
 	site *sitegen.Site
 	day  int
@@ -110,9 +133,16 @@ type crawlJob struct {
 // (in-flight visits finish but are not emitted), or the first error
 // returned by emit.
 func CrawlStream(ctx context.Context, w *sitegen.World, opts Options, emit EmitFunc) error {
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.NumCPU()
-	}
+	return CrawlStreamSharded(ctx, w, opts, emit, nil)
+}
+
+// CrawlStreamSharded is CrawlStream with a per-worker fold hook: each
+// completed record is additionally handed to fold on the worker
+// goroutine that produced it, off the order-preserving emit path — the
+// crawl-side half of sharded metric accumulation (the caller merges the
+// shards at run end). fold may be nil.
+func CrawlStreamSharded(ctx context.Context, w *sitegen.World, opts Options, emit EmitFunc, fold FoldFunc) error {
+	opts.Workers = opts.ResolvedWorkers()
 	if opts.Days <= 0 {
 		opts.Days = 1
 	}
@@ -137,7 +167,7 @@ func CrawlStream(ctx context.Context, w *sitegen.World, opts Options, emit EmitF
 		}
 		return emit(v)
 	}
-	if err := streamDay(ctx, w, first, opts, track); err != nil {
+	if err := streamDay(ctx, w, first, opts, track, fold); err != nil {
 		return err
 	}
 
@@ -148,16 +178,16 @@ func CrawlStream(ctx context.Context, w *sitegen.World, opts Options, emit EmitF
 				jobs = append(jobs, crawlJob{site: s, day: day})
 			}
 		}
-		if err := streamDay(ctx, w, jobs, opts, emit); err != nil {
+		if err := streamDay(ctx, w, jobs, opts, emit, fold); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// streamDay crawls one day's job list with a worker pool and emits the
-// records in job order.
-func streamDay(parent context.Context, w *sitegen.World, jobs []crawlJob, opts Options, emit EmitFunc) error {
+// streamDay crawls one day's job list with a worker pool, folding each
+// record on its worker goroutine and emitting the records in job order.
+func streamDay(parent context.Context, w *sitegen.World, jobs []crawlJob, opts Options, emit EmitFunc, fold FoldFunc) error {
 	// An internal cancel stops the feeder both on caller cancellation and
 	// on emit error, so workers drain promptly in either case.
 	ctx, cancel := context.WithCancel(parent)
@@ -173,7 +203,7 @@ func streamDay(parent context.Context, w *sitegen.World, jobs []crawlJob, opts O
 	var wg sync.WaitGroup
 	for wk := 0; wk < opts.Workers; wk++ {
 		wg.Add(1)
-		go func() {
+		go func(shard int) {
 			defer wg.Done()
 			// One pooled scheduler+network per worker, reset between
 			// visits: per-visit determinism depends only on the seeds,
@@ -184,13 +214,16 @@ func streamDay(parent context.Context, w *sitegen.World, jobs []crawlJob, opts O
 			for idx := range jobCh {
 				j := jobs[idx]
 				rec := vrt.visit(w, j.site, j.day, opts)
+				if fold != nil {
+					fold(shard, rec)
+				}
 				select {
 				case resCh <- result{rec: rec, idx: idx}:
 				case <-ctx.Done():
 					return
 				}
 			}
-		}()
+		}(wk)
 	}
 	go func() {
 		defer close(jobCh)
@@ -339,6 +372,14 @@ type Stats struct {
 	Loaded   int
 	TimedOut int
 	HB       int
+}
+
+// Merge adds another shard's counters in.
+func (s *Stats) Merge(o Stats) {
+	s.Visits += o.Visits
+	s.Loaded += o.Loaded
+	s.TimedOut += o.TimedOut
+	s.HB += o.HB
 }
 
 // Add folds one record into the stats (the streaming counterpart of

@@ -1,0 +1,64 @@
+package crawler
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"headerbid/internal/dataset"
+)
+
+// TestShardedFoldSeesEveryRecordOnce: CrawlStreamSharded must fold each
+// visit exactly once, on a shard index below the resolved worker count,
+// and the folded multiset must equal the emitted stream.
+func TestShardedFoldSeesEveryRecordOnce(t *testing.T) {
+	w := smallWorld(t, 150)
+	opts := DefaultOptions(17)
+	opts.Days = 2
+	opts.Workers = 4
+
+	var mu sync.Mutex
+	folded := map[string]int{} // domain/day -> folds
+	shardsSeen := map[int]bool{}
+	emitted := 0
+
+	err := CrawlStreamSharded(context.Background(), w, opts,
+		func(v Visit) error { emitted++; return nil },
+		func(shard int, r *dataset.SiteRecord) {
+			if shard < 0 || shard >= opts.Workers {
+				t.Errorf("shard %d out of range [0,%d)", shard, opts.Workers)
+			}
+			mu.Lock()
+			folded[r.Domain+"/"+string(rune('0'+r.VisitDay))]++
+			shardsSeen[shard] = true
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folded) != emitted {
+		t.Fatalf("folded %d distinct visits, emitted %d", len(folded), emitted)
+	}
+	for k, n := range folded {
+		if n != 1 {
+			t.Fatalf("visit %s folded %d times", k, n)
+		}
+	}
+	if len(shardsSeen) < 2 {
+		t.Errorf("expected multiple shards to fold, saw %d", len(shardsSeen))
+	}
+}
+
+// TestCrawlStreamNilFold: the plain CrawlStream path (nil fold) must be
+// unaffected by the hook.
+func TestCrawlStreamNilFold(t *testing.T) {
+	w := smallWorld(t, 40)
+	opts := DefaultOptions(17)
+	n := 0
+	if err := CrawlStreamSharded(context.Background(), w, opts, func(v Visit) error { n++; return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 {
+		t.Fatalf("emitted %d, want 40", n)
+	}
+}

@@ -315,6 +315,32 @@ func (a *SummaryAccumulator) Add(r *SiteRecord) {
 	}
 }
 
+// Merge folds another accumulator's state into a. Because every counter
+// is derived from sets (or is a plain sum), merging per-worker shards in
+// any order yields the same Summary as a single in-order accumulation.
+func (a *SummaryAccumulator) Merge(o *SummaryAccumulator) {
+	for d := range o.siteSeen {
+		if !a.siteSeen[d] {
+			a.siteSeen[d] = true
+			a.s.SitesCrawled++
+		}
+	}
+	for d := range o.hbSeen {
+		if !a.hbSeen[d] {
+			a.hbSeen[d] = true
+			a.s.SitesWithHB++
+		}
+	}
+	for p := range o.partnerSet {
+		a.partnerSet[p] = true
+	}
+	a.s.Auctions += o.s.Auctions
+	a.s.Bids += o.s.Bids
+	if o.maxDay > a.maxDay {
+		a.maxDay = o.maxDay
+	}
+}
+
 // Summary returns the roll-up over everything added so far.
 func (a *SummaryAccumulator) Summary() Summary {
 	s := a.s

@@ -1,0 +1,163 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"headerbid/internal/analysis"
+	"headerbid/internal/dataset"
+	"headerbid/internal/partners"
+)
+
+// Figures is the complete streaming figure report: one mergeable
+// accumulator per dataset-derived section of the paper, bundled as a
+// single analysis.Metric. Attach it to a live crawl (per-worker shards,
+// merged at run end) or fold a JSONL stream into it record by record —
+// either way the full report renders without the record slice ever being
+// materialized, and the output is byte-identical to the legacy batch
+// path (which is now a fold over this type) regardless of worker count.
+//
+// The section parameters (top-k cutoffs, bin widths, sample floors) are
+// fixed to the ones the paper's figures use.
+type Figures struct {
+	reg *partners.Registry
+
+	summary       *analysis.SummaryMetric
+	adoption      *analysis.AdoptionByRankBandMetric
+	facets        *analysis.FacetBreakdownMetric
+	topPartners   *analysis.TopPartnersMetric
+	perSite       *analysis.PartnersPerSiteMetric
+	combos        *analysis.PartnerCombosMetric
+	perFacet      *analysis.PartnersPerFacetMetric
+	latency       *analysis.LatencyAccumulator
+	latVsRank     *analysis.LatencyVsRankMetric
+	partnerLat    *analysis.PartnerLatenciesMetric
+	latVsPartners *analysis.LatencyVsPartnerCountMetric
+	latVsPop      *analysis.LatencyVsPopularityMetric
+	lateBids      *analysis.LateBidsMetric
+	latePerPart   *analysis.LateBidsPerPartnerMetric
+	slotsPerSite  *analysis.SlotsPerSiteMetric
+	latVsSlots    *analysis.LatencyVsSlotsMetric
+	slotSizes     *analysis.SlotSizesMetric
+	priceCDF      *analysis.PriceCDFMetric
+	pricePerSize  *analysis.PricePerSizeMetric
+	priceVsPop    *analysis.PriceVsPopularityMetric
+	traffic       *analysis.TrafficMetric
+
+	// all lists every member in a fixed order for Add/Merge fan-out;
+	// nonHB is the subset whose Add consumes non-HB records (every other
+	// member self-filters on r.HB). Both are declared together in
+	// NewFigures — extend nonHB whenever a new member counts non-HB
+	// records, or the fast path below will silently starve it.
+	all   []analysis.Metric
+	nonHB []analysis.Metric
+}
+
+// NewFigures returns an empty figure-report accumulator rendering with
+// the given partner registry (popularity ranks, market-share ordering).
+func NewFigures(reg *partners.Registry) *Figures {
+	f := &Figures{
+		reg:           reg,
+		summary:       analysis.NewSummary(),
+		adoption:      analysis.NewAdoptionByRankBand(),
+		facets:        analysis.NewFacetBreakdown(),
+		topPartners:   analysis.NewTopPartners(12),
+		perSite:       analysis.NewPartnersPerSite(),
+		combos:        analysis.NewPartnerCombos(15),
+		perFacet:      analysis.NewPartnersPerFacet(10),
+		latency:       analysis.NewLatencyAccumulator(),
+		latVsRank:     analysis.NewLatencyVsRank(500),
+		partnerLat:    analysis.NewPartnerLatencies(),
+		latVsPartners: analysis.NewLatencyVsPartnerCount(15),
+		latVsPop:      analysis.NewLatencyVsPopularity(reg, 10),
+		lateBids:      analysis.NewLateBids(),
+		latePerPart:   analysis.NewLateBidsPerPartner(25, 3),
+		slotsPerSite:  analysis.NewSlotsPerSite(),
+		latVsSlots:    analysis.NewLatencyVsSlots(15),
+		slotSizes:     analysis.NewSlotSizes(10),
+		priceCDF:      analysis.NewPriceCDF(),
+		pricePerSize:  analysis.NewPricePerSize(5),
+		priceVsPop:    analysis.NewPriceVsPopularity(reg, 10),
+		traffic:       analysis.NewTraffic(0),
+	}
+	f.all = []analysis.Metric{
+		f.summary, f.adoption, f.facets, f.topPartners, f.perSite,
+		f.combos, f.perFacet, f.latency, f.latVsRank, f.partnerLat,
+		f.latVsPartners, f.latVsPop, f.lateBids, f.latePerPart,
+		f.slotsPerSite, f.latVsSlots, f.slotSizes, f.priceCDF,
+		f.pricePerSize, f.priceVsPop, f.traffic,
+	}
+	f.nonHB = []analysis.Metric{f.summary, f.adoption}
+	return f
+}
+
+// Name identifies the composite metric.
+func (f *Figures) Name() string { return "figure_report" }
+
+// Add folds one record into every section. Non-HB records only touch
+// the members that count them (Table 1 and rank-band adoption, the
+// nonHB subset); every other member ignores them, so the ~86% non-HB
+// majority of a paper-calibrated crawl skips 19 interface dispatches
+// per record.
+func (f *Figures) Add(r *dataset.SiteRecord) {
+	if !r.HB {
+		for _, m := range f.nonHB {
+			m.Add(r)
+		}
+		return
+	}
+	for _, m := range f.all {
+		m.Add(r)
+	}
+}
+
+// NewShard returns a fresh empty figure set with the same registry.
+func (f *Figures) NewShard() analysis.Metric { return NewFigures(f.reg) }
+
+// Merge folds a shard in, section by section.
+func (f *Figures) Merge(other analysis.Metric) {
+	o, ok := other.(*Figures)
+	if !ok {
+		panic(fmt.Sprintf("report: cannot merge %T into *Figures", other))
+	}
+	for i, m := range f.all {
+		m.Merge(o.all[i])
+	}
+}
+
+// Snapshot returns the accumulator itself; render it with Render.
+func (f *Figures) Snapshot() any { return f }
+
+// Summary returns the Table-1 roll-up over everything folded in.
+func (f *Figures) Summary() dataset.Summary { return f.summary.Summary() }
+
+// Render writes the full figure report over everything folded in.
+func (f *Figures) Render(w io.Writer) { New(w).Figures(f) }
+
+// Figures renders every dataset-derived section in paper order from a
+// streaming figure set; the world-dependent sections (Figure 4, the
+// waterfall comparison) are rendered separately by their dedicated
+// commands.
+func (r *Writer) Figures(f *Figures) {
+	r.Table1(f.summary.Summary())
+	r.AdoptionBands(f.adoption.Result())
+	r.FacetBreakdown(f.facets.Result())
+	r.Figure8(f.topPartners.Result())
+	r.Figure9(f.perSite.Result())
+	r.Figure10(f.combos.Result())
+	r.Figure11(f.perFacet.Result())
+	r.Figure12(f.latency.Result())
+	r.Figure13(f.latVsRank.Result())
+	r.Figure14(f.partnerLat.Extremes(f.reg, 10, 5))
+	r.Figure15(f.latVsPartners.Result())
+	r.Figure16(f.latVsPop.Result())
+	r.Figure17(f.lateBids.Result())
+	r.Figure18(f.latePerPart.Result())
+	r.Figure19(f.slotsPerSite.Result())
+	r.Figure20(f.latVsSlots.Result())
+	r.Figure21(f.slotSizes.Result())
+	r.Figure22(f.priceCDF.Result())
+	r.Figure23(f.pricePerSize.Result())
+	r.Figure24(f.priceVsPop.Result())
+	r.Traffic(f.traffic.Result())
+}

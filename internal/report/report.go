@@ -160,7 +160,7 @@ func (r *Writer) Figure17(res analysis.LateBidsResult) {
 	r.Section("Figure 17: late bids per auction (ECDF over auctions with late bids)")
 	r.printf("auctions=%d with-late=%d (%.1f%%)  median-late-share=%.0f%%  p90=%.0f%%\n",
 		res.TotalAuctions, res.AuctionsWithLate,
-		100*float64(res.AuctionsWithLate)/float64(maxInt(1, res.TotalAuctions)),
+		100*float64(res.AuctionsWithLate)/float64(max(1, res.TotalAuctions)),
 		res.MedianLateShare, res.P90LateShare)
 	r.printf("one-late=%.0f%%  two-plus=%.0f%%  four-plus=%.0f%% (of auctions with late bids)\n",
 		100*res.FracOneLate, 100*res.FracTwoPlus, 100*res.FracFourPlus)
@@ -307,41 +307,14 @@ func bar(frac float64, width int) string {
 	return strings.Repeat("#", n)
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// Full renders every dataset-derived section in paper order; the
+// Full renders every dataset-derived section in paper order — the batch
+// convenience over a streaming Figures set (fold, then render); the
 // world-dependent sections (Figure 4, the waterfall comparison) are
 // rendered separately by their dedicated commands.
 func (r *Writer) Full(recs []*dataset.SiteRecord, reg *partners.Registry) {
-	r.Table1(dataset.Summarize(recs))
-	r.AdoptionBands(AdoptionByRankBandOf(recs))
-	r.FacetBreakdown(analysis.FacetBreakdown(recs))
-	r.Figure8(analysis.TopPartners(recs, 12))
-	r.Figure9(analysis.PartnersPerSite(recs))
-	r.Figure10(analysis.PartnerCombos(recs, 15))
-	r.Figure11(analysis.PartnersPerFacet(recs, 10))
-	r.Figure12(analysis.LatencyCDF(recs))
-	r.Figure13(analysis.LatencyVsRank(recs, 500))
-	r.Figure14(analysis.LatencyExtremes(recs, reg, 10, 5))
-	r.Figure15(analysis.LatencyVsPartnerCount(recs, 15))
-	r.Figure16(analysis.LatencyVsPopularity(recs, reg, 10))
-	r.Figure17(analysis.LateBids(recs))
-	r.Figure18(analysis.LateBidsPerPartner(recs, 25, 3))
-	r.Figure19(analysis.SlotsPerSite(recs))
-	r.Figure20(analysis.LatencyVsSlots(recs, 15))
-	r.Figure21(analysis.SlotSizes(recs, 10))
-	r.Figure22(analysis.PriceCDF(recs))
-	r.Figure23(analysis.PricePerSize(recs, 5))
-	r.Figure24(analysis.PriceVsPopularity(recs, reg, 10))
-	r.Traffic(analysis.Traffic(recs, 0))
-}
-
-// AdoptionByRankBandOf is re-exported for Full's convenience.
-func AdoptionByRankBandOf(recs []*dataset.SiteRecord) []analysis.RankBandAdoption {
-	return analysis.AdoptionByRankBand(recs)
+	f := NewFigures(reg)
+	for _, rec := range recs {
+		f.Add(rec)
+	}
+	r.Figures(f)
 }

@@ -271,6 +271,16 @@ func (b *Binner) Add(key int, value float64) {
 	b.bins[idx] = append(b.bins[idx], value)
 }
 
+// Merge folds another binner's observations into b. Both binners must
+// share the same width. Summaries are order-insensitive (each bin's box
+// is computed over the sorted sample multiset), so merging shards in any
+// order yields identical summaries.
+func (b *Binner) Merge(other *Binner) {
+	for idx, xs := range other.bins {
+		b.bins[idx] = append(b.bins[idx], xs...)
+	}
+}
+
 // BinSummary is the whisker summary of one bin.
 type BinSummary struct {
 	Bin   int // bin index; covers keys [Bin*Width, (Bin+1)*Width)
