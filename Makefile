@@ -8,7 +8,12 @@ ALLOCS_CEILING ?= 200
 # crawl, in percent (the streaming-metrics design goal is <=10%).
 METRICS_OVERHEAD_PCT ?= 10
 
-.PHONY: build test race vet lint bench bench-smoke bench-gate bench-all benchstat baseline profile
+# Max marginal cost of one sweep variant vs a fresh run (world gen +
+# cold crawl), in percent: shared-world sweeps must never regress into
+# per-variant world regeneration (that lands at ~100% or above).
+SWEEP_VARIANT_PCT ?= 95
+
+.PHONY: build test race vet lint bench bench-smoke bench-gate bench-all benchstat baseline profile sweep
 
 build:
 	$(GO) build ./...
@@ -41,11 +46,19 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench Crawl_EndToEnd -benchtime 1x .
 
-# CI gate: bench smoke plus the committed allocs/visit ceiling and the
-# metrics-attached-crawl overhead ceiling (full figure report must cost
-# <= METRICS_OVERHEAD_PCT of bare-crawl sites/sec).
+# CI gate: bench smoke plus the committed ceilings — allocs/visit, the
+# metrics-attached-crawl overhead (full figure report must cost <=
+# METRICS_OVERHEAD_PCT of bare-crawl sites/sec) and the sweep
+# world-reuse ratio (variant marginal cost <= SWEEP_VARIANT_PCT of a
+# fresh run).
 bench-gate:
-	MAX_ALLOCS=$(ALLOCS_CEILING) MAX_METRICS_OVERHEAD_PCT=$(METRICS_OVERHEAD_PCT) sh scripts/bench_gate.sh
+	MAX_ALLOCS=$(ALLOCS_CEILING) MAX_METRICS_OVERHEAD_PCT=$(METRICS_OVERHEAD_PCT) \
+		MAX_SWEEP_VARIANT_PCT=$(SWEEP_VARIANT_PCT) sh scripts/bench_gate.sh
+
+# Counterfactual-sweep smoke: a small timeout+partners+network sweep
+# over one shared world, comparison rendered to stdout.
+sweep:
+	$(GO) run ./cmd/hbsweep -sites 600 -timeouts 500,3000,10000 -partners 1,5 -profiles fiber,3g -q
 
 # Every paper-figure benchmark.
 bench-all:

@@ -8,10 +8,16 @@
 // the streaming metrics API (accumulated per worker off the emit path) —
 // no second pass over the dataset and no record retention.
 //
+// With -hb-timeout and -profile a single run applies a scenario overlay
+// (wrapper-deadline override, network profile) at visit time — the
+// one-variant counterpart of a cmd/hbsweep axis, useful for crawling one
+// intervention without the sweep machinery.
+//
 // Usage:
 //
 //	hbcrawl -sites 35000 -days 1 -seed 1 -o crawl.jsonl
 //	hbcrawl -sites 35000 -o crawl.jsonl -report
+//	hbcrawl -sites 5000 -hb-timeout 500 -profile 3g -o slow.jsonl
 package main
 
 import (
@@ -36,6 +42,8 @@ func main() {
 		workers = flag.Int("workers", 0, "crawl parallelism (0 = NumCPU)")
 		quiet   = flag.Bool("q", false, "suppress progress output")
 		rep     = flag.Bool("report", false, "render the full figure report from the live run (to stdout, or stderr when -o -)")
+		hbTO    = flag.Int("hb-timeout", 0, "override every wrapper deadline, in ms (scenario overlay; 0 keeps per-site config)")
+		profile = flag.String("profile", "", "network profile overlay: fiber, cable, 4g or 3g (empty keeps defaults)")
 	)
 	flag.Parse()
 
@@ -77,6 +85,20 @@ func main() {
 	}
 	if *workers > 0 {
 		opts = append(opts, headerbid.WithWorkers(*workers))
+	}
+	var ov headerbid.Overlay
+	if *hbTO > 0 {
+		ov.TimeoutMS = *hbTO
+	}
+	if *profile != "" {
+		p, ok := headerbid.NetworkProfileByName(*profile)
+		if !ok {
+			log.Fatalf("unknown network profile %q (built-ins: fiber, cable, 4g, 3g)", *profile)
+		}
+		ov.Network = &p
+	}
+	if !ov.IsZero() {
+		opts = append(opts, headerbid.WithOverlay(ov))
 	}
 	var fr *headerbid.FigureReport
 	if *rep {

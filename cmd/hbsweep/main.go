@@ -1,0 +1,170 @@
+// Command hbsweep runs a counterfactual sweep: N parameterized variants
+// of the measurement crawl — wrapper-timeout ladder, partner-pool
+// ablation, network/device profiles, cookie-sync ablation — over one
+// shared synthetic world, then renders the comparison report of causal
+// deltas against the zero-intervention baseline. The world is generated
+// once and never mutated; every variant reuses it, so the sweep's cost
+// is one world build plus one crawl per variant.
+//
+// Usage:
+//
+//	hbsweep -sites 5000 -seed 1                      # timeout+partners+network axes
+//	hbsweep -sites 5000 -timeouts 500,1000,3000,10000 -partners '' -profiles ''
+//	hbsweep -sites 2000 -sync -o sweep-out           # adds sync axis, JSONL per variant
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"headerbid"
+)
+
+func main() {
+	var (
+		sites    = flag.Int("sites", 5000, "number of sites in the shared generated world")
+		days     = flag.Int("days", 1, "crawl days per variant")
+		seed     = flag.Int64("seed", 1, "world + crawl seed (identical seeds reproduce identical comparisons)")
+		workers  = flag.Int("workers", 0, "crawl parallelism per variant (0 = NumCPU)")
+		parallel = flag.Int("parallel", 2, "variants crawled concurrently")
+		timeouts = flag.String("timeouts", "default", "timeout axis: comma-separated wrapper deadlines in ms, 'default', or '' to skip the axis")
+		partner  = flag.String("partners", "default", "partner-ablation axis: comma-separated pool caps, 'default', or '' to skip")
+		profiles = flag.String("profiles", "default", "network axis: comma-separated profile names (fiber,cable,4g,3g), 'default', or '' to skip")
+		sync     = flag.Bool("sync", false, "add the cookie-sync ablation axis")
+		wrapper  = flag.Bool("fix-wrappers", false, "add the repaired-wrapper axis")
+		out      = flag.String("o", "", "directory for per-variant JSONL datasets (empty = no datasets)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	log.SetFlags(0)
+	log.SetPrefix("hbsweep: ")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var axes []headerbid.Axis
+	if ms, on := intLevels(*timeouts); on {
+		axes = append(axes, headerbid.TimeoutAxis(ms...))
+	}
+	if caps, on := intLevels(*partner); on {
+		axes = append(axes, headerbid.PartnerAxis(caps...))
+	}
+	if names, on := strLevels(*profiles); on {
+		var ps []headerbid.NetworkProfile
+		for _, n := range names {
+			p, ok := headerbid.NetworkProfileByName(n)
+			if !ok {
+				log.Fatalf("unknown network profile %q (built-ins: fiber, cable, 4g, 3g)", n)
+			}
+			ps = append(ps, p)
+		}
+		axes = append(axes, headerbid.NetworkAxis(ps...))
+	}
+	if *sync {
+		axes = append(axes, headerbid.SyncAxis())
+	}
+	if *wrapper {
+		axes = append(axes, headerbid.WrapperAxis())
+	}
+	if len(axes) == 0 {
+		log.Fatal("every axis disabled; enable at least one")
+	}
+
+	opts := []headerbid.SweepOption{
+		headerbid.WithSweepSites(*sites),
+		headerbid.WithSweepSeed(*seed),
+		headerbid.WithSweepDays(*days),
+		headerbid.WithVariantConcurrency(*parallel),
+		headerbid.WithAxes(axes...),
+	}
+	if *workers > 0 {
+		opts = append(opts, headerbid.WithSweepWorkers(*workers))
+	}
+	if *out != "" {
+		jsonl, err := headerbid.NewVariantJSONLSink(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, headerbid.WithSweepSink(jsonl))
+	}
+	if !*quiet {
+		// Progress over the whole sweep: variants share one visit
+		// counter against the day-0 schedule (revisit days on -days>1
+		// print beyond 100%).
+		total := headerbid.SweepVariantCount(axes...) * *sites
+		done := 0
+		opts = append(opts, headerbid.WithSweepSink(headerbid.SweepSinkFunc(func(v headerbid.SweepVisit) error {
+			done++
+			if done%2000 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\rsweeping... %d/%d visits", done, total)
+			}
+			return nil
+		})))
+	}
+
+	start := time.Now()
+	cmp, err := headerbid.NewSweep(opts...).Run(ctx)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if errors.Is(err, context.Canceled) {
+		log.Println("interrupted; no comparison rendered")
+		os.Exit(130)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cmp.Render(os.Stdout)
+	log.Printf("swept %d variants over one %d-site world in %s",
+		len(cmp.Variants()), cmp.Sites, time.Since(start).Round(time.Millisecond))
+	if *out != "" {
+		log.Printf("per-variant datasets written under %s", *out)
+	}
+}
+
+// intLevels parses a comma-separated int list; "default" means the
+// axis's built-in ladder (empty slice), "" disables the axis.
+func intLevels(s string) ([]int, bool) {
+	names, on := strLevels(s)
+	if !on {
+		return nil, false
+	}
+	out := make([]int, 0, len(names))
+	for _, f := range names {
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			log.Fatalf("bad level %q: want a positive integer, 'default' or ''", f)
+		}
+		out = append(out, n)
+	}
+	return out, true
+}
+
+// strLevels parses a comma-separated list with the same default/disable
+// conventions.
+func strLevels(s string) ([]string, bool) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "":
+		return nil, false
+	case "default":
+		return nil, true
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out, len(out) > 0
+}

@@ -42,6 +42,7 @@ type Experiment struct {
 	firstDay    int
 	firstDaySet bool
 	filter      func(*Site) bool
+	overlay     Overlay
 
 	sinks   []Sink
 	metrics []Metric
@@ -102,6 +103,16 @@ func WithFirstDay(first int) ExperimentOption {
 // regenerating the world.
 func WithSiteFilter(f func(*Site) bool) ExperimentOption {
 	return func(e *Experiment) { e.filter = f }
+}
+
+// WithOverlay applies a scenario intervention (wrapper-timeout
+// override, partner-pool cap, cookie-sync suppression, network
+// profile) to every visit of this single run — the one-variant
+// counterpart of a Sweep axis. The overlay is applied at visit time on
+// private copies; the world is never mutated, so the same world can be
+// shared with other runs. A zero overlay changes nothing.
+func WithOverlay(ov Overlay) ExperimentOption {
+	return func(e *Experiment) { e.overlay = ov }
 }
 
 // WithSink attaches sinks; each completed visit is pushed to every sink
@@ -235,6 +246,10 @@ func (e *Experiment) crawlOptions() crawler.Options {
 	}
 	if e.filter != nil {
 		opts.Filter = e.filter
+	}
+	if !e.overlay.IsZero() {
+		ov := e.overlay
+		opts.Overlay = &ov
 	}
 	return opts
 }

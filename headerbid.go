@@ -30,6 +30,21 @@
 //		fr.Render(os.Stdout)
 //	}
 //
+// Beyond reproducing the paper's observational findings, the scenario
+// layer reruns the same world under controlled interventions: a Sweep
+// crawls N variants — wrapper-timeout ladder, partner-pool ablation,
+// network profiles, cookie-sync ablation — over one shared, immutably
+// generated world and reports the causal deltas:
+//
+//	cmp, err := headerbid.NewSweep(
+//		headerbid.WithSweepSites(5000),
+//		headerbid.WithAxes(headerbid.TimeoutAxis(), headerbid.PartnerAxis(), headerbid.NetworkAxis()),
+//	).Run(ctx)
+//	cmp.Render(os.Stdout)
+//
+// Single runs apply one intervention with WithOverlay; overlays are
+// applied at visit time and never mutate the shared world.
+//
 // The legacy batch entry points (Crawl, Summarize, WriteDataset, ...)
 // remain as thin deprecated wrappers over the Experiment and Metrics.
 //

@@ -31,6 +31,7 @@ import (
 	"headerbid/internal/clock"
 	"headerbid/internal/core"
 	"headerbid/internal/dataset"
+	"headerbid/internal/overlay"
 	"headerbid/internal/pagert"
 	"headerbid/internal/simnet"
 	"headerbid/internal/sitegen"
@@ -64,6 +65,14 @@ type Options struct {
 	// Detector overrides the detector channels (nil = both channels, the
 	// paper's configuration), for the detection-method ablation.
 	Detector *core.Options
+	// Overlay applies a per-visit scenario intervention (timeout
+	// override, partner-pool cap, cookie-sync suppression, network
+	// profile) without mutating the shared world: wrapper config is
+	// transformed on a private copy by the page runtime and the network
+	// profile is set on the visit's pooled network. nil (or a zero
+	// overlay) reproduces the uninstrumented crawl byte-for-byte — the
+	// contract the scenario engine's base variant relies on.
+	Overlay *overlay.Overlay
 }
 
 // ResolvedWorkers is the worker count a crawl actually runs with
@@ -313,10 +322,14 @@ func (vrt *visitRuntime) visit(w *sitegen.World, s *sitegen.Site, day int, opts 
 	vrt.net.Reset(visitSeed(opts.Seed, s.Domain, day))
 	net := vrt.net
 	sched := vrt.sched
+	if ov := opts.Overlay; ov != nil && ov.Network != nil {
+		net.SetRTT(ov.Network.BaseRTT, ov.Network.Jitter)
+	}
 	w.InstallSimnetFor(net, s)
 
 	env := vrt.env
 	rt := pagert.New(w.Registry)
+	rt.Overlay = opts.Overlay
 	bopts := browser.DefaultOptions()
 	bopts.NoEventHistory = true // the detector consumes events live
 	if opts.PageTimeout > 0 {

@@ -1,0 +1,84 @@
+// Package overlay defines per-visit intervention overlays: the small,
+// declarative parameter set a counterfactual scenario applies on top of
+// a shared, immutably generated world. An overlay never mutates the
+// world — consumers (the page runtime, the crawler's network setup)
+// apply it to per-visit copies of page configuration and to the
+// per-visit network, so N variants of a sweep can crawl one world
+// concurrently. The package is a leaf: the page runtime, the crawler
+// and the scenario engine all speak this vocabulary without importing
+// each other.
+package overlay
+
+import "time"
+
+// Overlay is one variant's intervention set. The zero value means "no
+// intervention": a crawl with a zero (or nil) overlay is byte-identical
+// to a crawl without one, which is what lets a sweep's base variant
+// stand in for a plain experiment run.
+type Overlay struct {
+	// TimeoutMS overrides every publisher's wrapper deadline when
+	// positive — the prebid/pubfood auction timeout that becomes TMax on
+	// every RTB bid request (the paper's fixed-timeout observation,
+	// §5.2, turned into a controlled sweep).
+	TimeoutMS int
+
+	// MaxPartners caps each page's client-side demand-partner pool when
+	// positive: the first K distinct bidders (in the page's deterministic
+	// config order) keep their seats, the rest are dropped from every ad
+	// unit and from the cookie-sync fan-out. Hosted (server-facet)
+	// deployments have a single provider and are unaffected.
+	MaxPartners int
+
+	// DisableSync suppresses the cookie-sync pixel fan-out that rides
+	// along with HB library loads — the "no cookie syncing" ablation of
+	// the ecosystem's tracking side channel.
+	DisableSync bool
+
+	// FixBadWrappers repairs misconfigured wrappers that contact the ad
+	// server without waiting for bids, so every deployment behaves like
+	// a correctly integrated one.
+	FixBadWrappers bool
+
+	// Network replaces the default transport latency model when non-nil
+	// (per-visit; the shared world's handlers are untouched).
+	Network *NetworkProfile
+}
+
+// IsZero reports whether the overlay applies no intervention at all.
+func (o *Overlay) IsZero() bool {
+	return o == nil || (o.TimeoutMS <= 0 && o.MaxPartners <= 0 &&
+		!o.DisableSync && !o.FixBadWrappers && o.Network == nil)
+}
+
+// NetworkProfile is a named transport-latency model: the round-trip
+// base and jitter the simulated network applies around every request.
+type NetworkProfile struct {
+	Name    string
+	BaseRTT time.Duration
+	Jitter  time.Duration
+}
+
+// Built-in network/device profiles, ordered fastest to slowest. The
+// "cable" profile equals the simulated network's defaults, so its
+// variant doubles as a control.
+var builtinProfiles = []NetworkProfile{
+	{Name: "fiber", BaseRTT: 8 * time.Millisecond, Jitter: 4 * time.Millisecond},
+	{Name: "cable", BaseRTT: 30 * time.Millisecond, Jitter: 20 * time.Millisecond},
+	{Name: "4g", BaseRTT: 70 * time.Millisecond, Jitter: 40 * time.Millisecond},
+	{Name: "3g", BaseRTT: 180 * time.Millisecond, Jitter: 120 * time.Millisecond},
+}
+
+// Profiles returns the built-in network profiles, fastest first.
+func Profiles() []NetworkProfile {
+	return append([]NetworkProfile(nil), builtinProfiles...)
+}
+
+// ProfileByName looks a built-in network profile up by name.
+func ProfileByName(name string) (NetworkProfile, bool) {
+	for _, p := range builtinProfiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return NetworkProfile{}, false
+}

@@ -1,0 +1,60 @@
+package overlay
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIsZero(t *testing.T) {
+	var nilOv *Overlay
+	if !nilOv.IsZero() {
+		t.Error("nil overlay must be zero")
+	}
+	if !(&Overlay{}).IsZero() {
+		t.Error("empty overlay must be zero")
+	}
+	cases := []Overlay{
+		{TimeoutMS: 3000},
+		{MaxPartners: 5},
+		{DisableSync: true},
+		{FixBadWrappers: true},
+		{Network: &NetworkProfile{Name: "x"}},
+	}
+	for _, ov := range cases {
+		ov := ov
+		if ov.IsZero() {
+			t.Errorf("%+v must not be zero", ov)
+		}
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	ps := Profiles()
+	if len(ps) < 3 {
+		t.Fatalf("want >=3 built-in profiles, got %d", len(ps))
+	}
+	// Fastest first, strictly increasing RTT.
+	for i := 1; i < len(ps); i++ {
+		if ps[i].BaseRTT <= ps[i-1].BaseRTT {
+			t.Errorf("profiles not ordered by RTT: %s(%s) after %s(%s)",
+				ps[i].Name, ps[i].BaseRTT, ps[i-1].Name, ps[i-1].BaseRTT)
+		}
+	}
+	// The control profile must match simnet's defaults.
+	cable, ok := ProfileByName("cable")
+	if !ok {
+		t.Fatal("cable profile missing")
+	}
+	if cable.BaseRTT != 30*time.Millisecond || cable.Jitter != 20*time.Millisecond {
+		t.Errorf("cable profile %v no longer matches simnet defaults (30ms/20ms)", cable)
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("unknown profile must not resolve")
+	}
+	// Profiles() hands out copies: mutating the slice must not corrupt
+	// the built-ins.
+	ps[0].BaseRTT = time.Hour
+	if again := Profiles(); again[0].BaseRTT == time.Hour {
+		t.Error("Profiles() exposes shared backing storage")
+	}
+}

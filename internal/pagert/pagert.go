@@ -16,6 +16,7 @@ import (
 	"headerbid/internal/browser"
 	"headerbid/internal/gptlib"
 	"headerbid/internal/htmlmeta"
+	"headerbid/internal/overlay"
 	"headerbid/internal/partners"
 	"headerbid/internal/prebid"
 	"headerbid/internal/pubfood"
@@ -127,6 +128,66 @@ func parseInlineConfig(inline string) (*PageConfig, error) {
 	return &cfg, nil
 }
 
+// OverlayConfig returns cfg with the overlay's wrapper interventions
+// applied. The returned config is a private copy whenever anything
+// changes — cached PageConfigs are shared across visits and must never
+// be written through — and cfg itself when the overlay is nil or a
+// no-op for this page. Ad-unit slices are cloned only when the partner
+// pool is actually trimmed.
+func OverlayConfig(cfg *PageConfig, ov *overlay.Overlay) *PageConfig {
+	if ov.IsZero() {
+		return cfg
+	}
+	out := *cfg
+	if ov.TimeoutMS > 0 {
+		out.TimeoutMS = ov.TimeoutMS
+	}
+	if ov.FixBadWrappers {
+		out.BadWrapper = false
+	}
+	if ov.MaxPartners > 0 {
+		out.AdUnits = capPartners(cfg.AdUnits, ov.MaxPartners)
+	}
+	return &out
+}
+
+// capPartners keeps the first max distinct bidders (in first-appearance
+// order across the units, which is deterministic page config order) and
+// filters every unit's bidder list down to the survivors. Units are
+// returned unchanged — same backing array — when nothing is dropped.
+func capPartners(units []prebid.AdUnit, max int) []prebid.AdUnit {
+	keep := make(map[string]bool, max)
+	dropped := false
+	for _, u := range units {
+		for _, b := range u.Bidders {
+			if keep[b] {
+				continue
+			}
+			if len(keep) < max {
+				keep[b] = true
+			} else {
+				dropped = true
+			}
+		}
+	}
+	if !dropped {
+		return units
+	}
+	out := make([]prebid.AdUnit, len(units))
+	for i, u := range units {
+		nu := u
+		bs := make([]string, 0, len(u.Bidders))
+		for _, b := range u.Bidders {
+			if keep[b] {
+				bs = append(bs, b)
+			}
+		}
+		nu.Bidders = bs
+		out[i] = nu
+	}
+	return out
+}
+
 // Activity reports what the runtime executed on a page, for ground-truth
 // assertions in tests (the detector must agree with this).
 type Activity struct {
@@ -142,6 +203,12 @@ type Activity struct {
 // Runtime implements browser.ScriptRuntime over the partner registry.
 type Runtime struct {
 	Registry *partners.Registry
+	// Overlay, when non-nil, applies a scenario intervention to every
+	// page this runtime drives: the parsed wrapper config is transformed
+	// on a private copy at visit time (the cached PageConfig is shared
+	// across visits and stays untouched), and cookie-sync fan-out can be
+	// suppressed. A nil or zero overlay changes nothing.
+	Overlay *overlay.Overlay
 	// LastActivity records the most recent page's activity (the crawler
 	// uses one Runtime per page, so this is unambiguous there).
 	LastActivity *Activity
@@ -183,6 +250,7 @@ func (rt *Runtime) RunScripts(p *browser.Page, doc *htmlmeta.Document, settle fu
 		settle()
 		return
 	}
+	cfg = OverlayConfig(cfg, rt.Overlay)
 
 	// User tracking rides along with the HB library load (protocol Step 1):
 	// cookie-sync pixels fan out to the page's demand partners. They run
@@ -200,7 +268,7 @@ func (rt *Runtime) RunScripts(p *browser.Page, doc *htmlmeta.Document, settle fu
 	if cfg.ServerPartner != "" {
 		partnerSlugs = append(partnerSlugs, cfg.ServerPartner)
 	}
-	if len(partnerSlugs) > 0 {
+	if len(partnerSlugs) > 0 && !(rt.Overlay != nil && rt.Overlay.DisableSync) {
 		sync := usersync.New(p, rt.Registry, usersync.DefaultConfig(cfg.Site, partnerSlugs), seedFromSite(cfg.Site))
 		sync.Run(nil)
 	}

@@ -1,0 +1,291 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"headerbid/internal/analysis"
+	"headerbid/internal/crawler"
+	"headerbid/internal/dataset"
+	"headerbid/internal/overlay"
+	"headerbid/internal/stats"
+)
+
+// VariantResult holds one variant's headline measures — the columns of
+// the comparison tables — plus any extra metrics the caller attached.
+type VariantResult struct {
+	Axis    string // owning axis ("baseline" for the implicit control)
+	Name    string
+	Overlay overlay.Overlay
+
+	Summary dataset.Summary
+	Stats   crawler.Stats
+
+	// Bids/LateBids count client-observable bids (server-side bids are
+	// excluded: lateness is unobservable there, as in Figure 18).
+	Bids     int
+	LateBids int
+
+	// Latency summarizes the per-HB-site total-HB-latency distribution.
+	LatencyMedianMS float64
+	LatencyP90MS    float64
+	FracOver1s      float64
+	FracOver3s      float64
+
+	// MedianCPM is the median winning CPM across auctions with winners.
+	MedianCPM float64
+	Winners   int
+
+	// PartnersReached counts distinct demand partners observed anywhere;
+	// MeanPartnersPerHBSite averages per-site pool sizes (first visit of
+	// each HB site).
+	PartnersReached       int
+	MeanPartnersPerHBSite float64
+
+	// Beacons / Requests total the tracking-pixel and overall request
+	// footprint (the cookie-sync axis moves these).
+	Beacons  int
+	Requests int
+
+	// Extra holds the caller's per-variant metrics (via Sweep.Metrics),
+	// merged across shards, in factory order.
+	Extra []analysis.Metric
+
+	Elapsed time.Duration
+}
+
+// LateBidRate is the late share of client-observable bids.
+func (v *VariantResult) LateBidRate() float64 {
+	if v.Bids == 0 {
+		return 0
+	}
+	return float64(v.LateBids) / float64(v.Bids)
+}
+
+// AxisComparison groups one axis's variant results in axis order.
+type AxisComparison struct {
+	Axis     string
+	Variants []VariantResult
+}
+
+// Comparison is a sweep's delta report: the shared-world parameters,
+// the baseline control, and per-axis variant rows. All numbers are
+// deterministic in (world seed, crawl seed, axes) — independent of
+// worker count and of variant scheduling — because every accumulator
+// obeys the analysis.Metric merge laws.
+type Comparison struct {
+	Sites    int
+	Days     int
+	Seed     int64
+	Baseline VariantResult
+	Axes     []AxisComparison
+}
+
+// Variants returns every variant result, baseline first, axes in order.
+func (c *Comparison) Variants() []VariantResult {
+	out := []VariantResult{c.Baseline}
+	for _, ax := range c.Axes {
+		out = append(out, ax.Variants...)
+	}
+	return out
+}
+
+// Axis returns the named axis comparison, or nil.
+func (c *Comparison) Axis(name string) *AxisComparison {
+	for i := range c.Axes {
+		if c.Axes[i].Axis == name {
+			return &c.Axes[i]
+		}
+	}
+	return nil
+}
+
+// Render writes the comparison as delta tables, one per axis, each row
+// contrasted against the shared baseline. Output is deterministic for
+// deterministic inputs (fixed column formats, no map iteration).
+func (c *Comparison) Render(w io.Writer) {
+	fmt.Fprintf(w, "== Counterfactual sweep: %d sites, %d day(s), seed %d ==\n",
+		c.Sites, c.Days, c.Seed)
+	b := &c.Baseline
+	fmt.Fprintf(w, "baseline: HB %d/%d sites, %d auctions, %d bids, late %.2f%%, median HB latency %.0fms, median CPM %.4f, partners %d\n",
+		b.Summary.SitesWithHB, b.Summary.SitesCrawled, b.Summary.Auctions,
+		b.Bids, 100*b.LateBidRate(), b.LatencyMedianMS, b.MedianCPM, b.PartnersReached)
+	for _, ax := range c.Axes {
+		fmt.Fprintf(w, "\n-- axis: %s --\n", ax.Axis)
+		fmt.Fprintf(w, "%-16s %9s %9s %9s %8s %9s %9s %8s %9s\n",
+			"variant", "late%", "Δlate", "medLatMs", ">3s%", "medCPM", "part/site", "reach", "beacons")
+		renderRow(w, b, b, BaselineName)
+		for i := range ax.Variants {
+			v := &ax.Variants[i]
+			renderRow(w, v, b, v.Name)
+		}
+	}
+}
+
+func renderRow(w io.Writer, v, base *VariantResult, name string) {
+	fmt.Fprintf(w, "%-16s %8.2f%% %+8.2fpp %9.0f %7.1f%% %9.4f %9.2f %8d %9d\n",
+		name,
+		100*v.LateBidRate(), 100*(v.LateBidRate()-base.LateBidRate()),
+		v.LatencyMedianMS, 100*v.FracOver3s, v.MedianCPM,
+		v.MeanPartnersPerHBSite, v.PartnersReached, v.Beacons)
+}
+
+// ---------------------------------------------------------------------------
+// Per-variant accumulation
+// ---------------------------------------------------------------------------
+
+// variantAgg folds one variant's records into every headline measure of
+// a VariantResult. It is an analysis.Metric, so it rides the crawler's
+// sharded fold path and obeys the merge laws (sample slices are
+// summarized only at result time, after sorting; counters are sums;
+// per-site values dedupe on minimum visit day, a record property that
+// survives arbitrary sharding).
+type variantAgg struct {
+	sum   *dataset.SummaryAccumulator
+	stats crawler.Stats
+
+	bids, late int
+	latencies  []float64
+	cpms       []float64
+	winners    int
+
+	partnerSet map[string]bool
+	siteFirst  map[string]siteFirst // per-domain min-day partner count
+
+	beacons, requests int
+
+	extra []analysis.Metric
+}
+
+type siteFirst struct {
+	day      int
+	partners int
+}
+
+func newVariantAgg(extra []analysis.Metric) *variantAgg {
+	return &variantAgg{
+		sum:        dataset.NewSummaryAccumulator(),
+		partnerSet: make(map[string]bool),
+		siteFirst:  make(map[string]siteFirst),
+		extra:      extra,
+	}
+}
+
+// Name identifies the metric.
+func (a *variantAgg) Name() string { return "scenario_variant" }
+
+// Add folds one record in.
+func (a *variantAgg) Add(r *dataset.SiteRecord) {
+	a.sum.Add(r)
+	a.stats.Add(r)
+	a.requests += r.Traffic.Total()
+	a.beacons += r.Traffic.Beacons
+	for _, m := range a.extra {
+		m.Add(r)
+	}
+	if !r.HB {
+		return
+	}
+	if r.TotalHBLatencyMS > 0 {
+		a.latencies = append(a.latencies, r.TotalHBLatencyMS)
+	}
+	for _, p := range r.Partners {
+		a.partnerSet[p] = true
+	}
+	if cur, ok := a.siteFirst[r.Domain]; !ok || r.VisitDay < cur.day {
+		a.siteFirst[r.Domain] = siteFirst{day: r.VisitDay, partners: len(r.Partners)}
+	}
+	for _, au := range r.Auctions {
+		if au.Winner != "" && au.WinnerCPM > 0 {
+			a.cpms = append(a.cpms, au.WinnerCPM)
+			a.winners++
+		}
+		for _, b := range au.Bids {
+			if b.Source == "s2s" {
+				continue
+			}
+			a.bids++
+			if b.Late {
+				a.late++
+			}
+		}
+	}
+}
+
+// NewShard returns a fresh empty accumulator (extra metrics shard too).
+func (a *variantAgg) NewShard() analysis.Metric {
+	extra := make([]analysis.Metric, len(a.extra))
+	for i, m := range a.extra {
+		extra[i] = m.NewShard()
+	}
+	return newVariantAgg(extra)
+}
+
+// Merge folds a shard in.
+func (a *variantAgg) Merge(other analysis.Metric) {
+	o, ok := other.(*variantAgg)
+	if !ok {
+		panic(fmt.Sprintf("scenario: cannot merge %T into %T", other, a))
+	}
+	a.sum.Merge(o.sum)
+	a.stats.Merge(o.stats)
+	a.bids += o.bids
+	a.late += o.late
+	a.latencies = append(a.latencies, o.latencies...)
+	a.cpms = append(a.cpms, o.cpms...)
+	a.winners += o.winners
+	for p := range o.partnerSet {
+		a.partnerSet[p] = true
+	}
+	for dom, sf := range o.siteFirst {
+		if cur, ok := a.siteFirst[dom]; !ok || sf.day < cur.day {
+			a.siteFirst[dom] = sf
+		}
+	}
+	a.beacons += o.beacons
+	a.requests += o.requests
+	for i, m := range a.extra {
+		m.Merge(o.extra[i])
+	}
+}
+
+// Snapshot returns the result with empty axis labels (the sweep fills
+// them in via result).
+func (a *variantAgg) Snapshot() any { return a.result("", "", overlay.Overlay{}, 0) }
+
+// result finalizes the variant's headline measures.
+func (a *variantAgg) result(axis, name string, ov overlay.Overlay, elapsed time.Duration) VariantResult {
+	res := VariantResult{
+		Axis: axis, Name: name, Overlay: ov,
+		Summary:         a.sum.Summary(),
+		Stats:           a.stats,
+		Bids:            a.bids,
+		LateBids:        a.late,
+		Winners:         a.winners,
+		PartnersReached: len(a.partnerSet),
+		Beacons:         a.beacons,
+		Requests:        a.requests,
+		Extra:           a.extra,
+		Elapsed:         elapsed,
+	}
+	if len(a.latencies) > 0 {
+		e := stats.NewECDF(a.latencies)
+		res.LatencyMedianMS = e.Quantile(0.5)
+		res.LatencyP90MS = e.Quantile(0.9)
+		res.FracOver1s = 1 - e.P(1000)
+		res.FracOver3s = 1 - e.P(3000)
+	}
+	if len(a.cpms) > 0 {
+		res.MedianCPM = stats.NewECDF(a.cpms).Quantile(0.5)
+	}
+	hbSites, partnerSum := 0, 0
+	for _, sf := range a.siteFirst {
+		hbSites++
+		partnerSum += sf.partners
+	}
+	if hbSites > 0 {
+		res.MeanPartnersPerHBSite = float64(partnerSum) / float64(hbSites)
+	}
+	return res
+}

@@ -1,0 +1,136 @@
+// Package scenario is the counterfactual sweep engine: it reruns the
+// *same* immutably generated world under controlled interventions and
+// quantifies the causal deltas the measurement study could only observe
+// — late-bid rate under longer wrapper timeouts, CPM and partner reach
+// under partner-pool ablation, latency CDFs per network profile, the
+// traffic footprint without cookie syncing.
+//
+// The vocabulary is small: an Axis names one intervention dimension and
+// enumerates its Variants (each a declarative overlay.Overlay); a Sweep
+// schedules every variant — plus an implicit zero-overlay baseline —
+// through the existing streaming crawl machinery over one shared world,
+// folding each variant into per-variant sharded accumulators; the
+// resulting Comparison holds per-variant headline measures and renders
+// delta tables against the baseline. The shared world is generated (and
+// its page-HTML/exchange/dispatch caches warmed) exactly once, so a
+// variant's marginal cost is a crawl, not a world build
+// (BenchmarkSweep_WorldReuse gates this).
+package scenario
+
+import (
+	"strconv"
+
+	"headerbid/internal/overlay"
+)
+
+// Variant is one cell of a sweep: a label plus the overlay it applies.
+type Variant struct {
+	Name    string
+	Overlay overlay.Overlay
+}
+
+// Axis names one intervention dimension and enumerates its variants.
+// Variants of one axis differ only along that dimension, so each axis's
+// comparison table reads as a controlled experiment.
+type Axis struct {
+	Name     string
+	Variants []Variant
+}
+
+// BaselineName labels the implicit zero-overlay variant every sweep
+// runs; it is byte-identical to a plain experiment crawl with the same
+// world and seed.
+const BaselineName = "baseline"
+
+// DefaultTimeoutsMS are the wrapper deadlines the default timeout axis
+// sweeps (bracketing prebid's 3000ms default from aggressive to the
+// 20s-scale misconfigurations the paper observed).
+var DefaultTimeoutsMS = []int{500, 1000, 3000, 10000}
+
+// TimeoutAxis sweeps the wrapper deadline: one variant per timeout,
+// overriding every publisher's configured TimeoutMS (and therefore the
+// TMax on every RTB bid request). Empty input uses DefaultTimeoutsMS.
+func TimeoutAxis(timeoutsMS ...int) Axis {
+	if len(timeoutsMS) == 0 {
+		timeoutsMS = DefaultTimeoutsMS
+	}
+	ax := Axis{Name: "timeout"}
+	for _, ms := range timeoutsMS {
+		ax.Variants = append(ax.Variants, Variant{
+			Name:    "timeout=" + strconv.Itoa(ms) + "ms",
+			Overlay: overlay.Overlay{TimeoutMS: ms},
+		})
+	}
+	return ax
+}
+
+// DefaultPartnerCaps are the partner-pool ceilings the default
+// partner-ablation axis sweeps (Figure 9: >50% of HB sites use one
+// partner, ~5% use ten or more).
+var DefaultPartnerCaps = []int{1, 3, 5, 10}
+
+// PartnerAxis sweeps partner-pool ablation: one variant per cap K,
+// keeping only the first K distinct client-side bidders of each page.
+// Empty input uses DefaultPartnerCaps.
+func PartnerAxis(caps ...int) Axis {
+	if len(caps) == 0 {
+		caps = DefaultPartnerCaps
+	}
+	ax := Axis{Name: "partners"}
+	for _, k := range caps {
+		ax.Variants = append(ax.Variants, Variant{
+			Name:    "partners<=" + strconv.Itoa(k),
+			Overlay: overlay.Overlay{MaxPartners: k},
+		})
+	}
+	return ax
+}
+
+// NetworkAxis sweeps transport profiles: one variant per profile. Empty
+// input uses every built-in profile (fiber, cable, 4g, 3g).
+func NetworkAxis(profiles ...overlay.NetworkProfile) Axis {
+	if len(profiles) == 0 {
+		profiles = overlay.Profiles()
+	}
+	ax := Axis{Name: "network"}
+	for _, p := range profiles {
+		p := p
+		ax.Variants = append(ax.Variants, Variant{
+			Name:    "net=" + p.Name,
+			Overlay: overlay.Overlay{Network: &p},
+		})
+	}
+	return ax
+}
+
+// SyncAxis ablates the cookie-sync side channel: one variant with sync
+// pixels suppressed (the baseline is the sync-on control).
+func SyncAxis() Axis {
+	return Axis{Name: "cookiesync", Variants: []Variant{
+		{Name: "sync=off", Overlay: overlay.Overlay{DisableSync: true}},
+	}}
+}
+
+// WrapperAxis repairs misconfigured wrappers that skip waiting for bids
+// (the baseline keeps the calibrated misconfiguration rate).
+func WrapperAxis() Axis {
+	return Axis{Name: "wrapper", Variants: []Variant{
+		{Name: "wrappers=fixed", Overlay: overlay.Overlay{FixBadWrappers: true}},
+	}}
+}
+
+// DefaultAxes returns the three headline axes: timeout sweep, partner
+// ablation and network profiles.
+func DefaultAxes() []Axis {
+	return []Axis{TimeoutAxis(), PartnerAxis(), NetworkAxis()}
+}
+
+// VariantCount reports how many crawls a sweep over the axes schedules,
+// including the implicit baseline.
+func VariantCount(axes []Axis) int {
+	n := 1
+	for _, ax := range axes {
+		n += len(ax.Variants)
+	}
+	return n
+}

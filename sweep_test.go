@@ -1,0 +1,174 @@
+package headerbid
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNewSweepDefaultAxes(t *testing.T) {
+	s := NewSweep()
+	if len(s.axes) != 3 {
+		t.Fatalf("default sweep has %d axes, want 3 (timeout, partners, network)", len(s.axes))
+	}
+	names := []string{s.axes[0].Name, s.axes[1].Name, s.axes[2].Name}
+	want := []string{"timeout", "partners", "network"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("axis %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+// The sweep's base variant reproduces a plain Experiment with the same
+// seed byte-for-byte: the JSONL dataset and the rendered figure report.
+func TestSweepBaselineMatchesExperiment(t *testing.T) {
+	const sites, seed = 400, 9
+
+	var expJSONL bytes.Buffer
+	expFR := NewFigureReport()
+	_, err := NewExperiment(
+		WithSites(sites), WithSeed(seed),
+		WithSink(NewJSONLSink(&expJSONL)), WithMetrics(expFR),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var expReport bytes.Buffer
+	expFR.Render(&expReport)
+
+	var baseJSONL bytes.Buffer
+	baseSink := NewJSONLSink(&baseJSONL)
+	cmp, err := NewSweep(
+		WithSweepSites(sites), WithSweepSeed(seed),
+		WithAxes(TimeoutAxis(500), PartnerAxis(1), SyncAxis()),
+		WithVariantConcurrency(4),
+		WithVariantMetrics(func() []Metric { return []Metric{NewFigureReport()} }),
+		WithSweepSink(SweepSinkFunc(func(v SweepVisit) error {
+			if v.Variant == "baseline" {
+				return baseSink.Consume(v.Visit)
+			}
+			return nil
+		})),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := baseSink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(baseJSONL.Bytes(), expJSONL.Bytes()) {
+		t.Errorf("baseline JSONL differs from Experiment JSONL (%d vs %d bytes)",
+			baseJSONL.Len(), expJSONL.Len())
+	}
+
+	var baseReport bytes.Buffer
+	cmp.Baseline.Extra[0].(*FigureReport).Render(&baseReport)
+	if !bytes.Equal(baseReport.Bytes(), expReport.Bytes()) {
+		t.Error("baseline figure report differs from Experiment figure report")
+	}
+}
+
+// WithOverlay on a single Experiment is the one-variant counterpart of
+// a sweep axis: identical overlays produce identical datasets.
+func TestWithOverlayMatchesSweepVariant(t *testing.T) {
+	const sites, seed = 300, 9
+	ov := Overlay{TimeoutMS: 500}
+
+	var expJSONL bytes.Buffer
+	_, err := NewExperiment(
+		WithSites(sites), WithSeed(seed), WithOverlay(ov),
+		WithSink(NewJSONLSink(&expJSONL)),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var varJSONL bytes.Buffer
+	varSink := NewJSONLSink(&varJSONL)
+	_, err = NewSweep(
+		WithSweepSites(sites), WithSweepSeed(seed),
+		WithAxes(TimeoutAxis(500)),
+		WithSweepSink(SweepSinkFunc(func(v SweepVisit) error {
+			if v.Variant == "timeout=500ms" {
+				return varSink.Consume(v.Visit)
+			}
+			return nil
+		})),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := varSink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(expJSONL.Bytes(), varJSONL.Bytes()) {
+		t.Errorf("WithOverlay dataset differs from the equivalent sweep variant (%d vs %d bytes)",
+			expJSONL.Len(), varJSONL.Len())
+	}
+}
+
+// Distinct variants whose names mangle to the same filename must fail
+// loudly rather than interleave into one dataset file.
+func TestVariantJSONLSinkCollision(t *testing.T) {
+	sink, err := NewVariantJSONLSink(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	v := Visit{Record: &SiteRecord{Domain: "d.example"}}
+	if err := sink.Consume(SweepVisit{Axis: "ax", Variant: "t=1s", Visit: v}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Consume(SweepVisit{Axis: "ax", Variant: "t=1s", Visit: v}); err != nil {
+		t.Fatalf("same variant must keep writing: %v", err)
+	}
+	if err := sink.Consume(SweepVisit{Axis: "ax", Variant: "t+1s", Visit: v}); err == nil {
+		t.Fatal("colliding variant filename must error, not interleave")
+	}
+}
+
+func TestVariantJSONLSink(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := NewVariantJSONLSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewSweep(
+		WithSweepSites(200), WithSweepSeed(2),
+		WithAxes(TimeoutAxis(1000)),
+		WithSweepSink(sink),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{"baseline.jsonl", "timeout_timeout_1000ms.jsonl"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("variant dataset missing: %v", err)
+		}
+		if lines := bytes.Count(data, []byte{'\n'}); lines != 200 {
+			t.Errorf("%s has %d records, want 200", name, lines)
+		}
+	}
+
+	// The baseline file matches a plain Experiment's dataset.
+	var expJSONL bytes.Buffer
+	if _, err := NewExperiment(
+		WithSites(200), WithSeed(2), WithSink(NewJSONLSink(&expJSONL)),
+	).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "baseline.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, expJSONL.Bytes()) {
+		t.Error("baseline.jsonl differs from a plain Experiment dataset")
+	}
+}
