@@ -13,7 +13,12 @@ METRICS_OVERHEAD_PCT ?= 10
 # per-variant world regeneration (that lands at ~100% or above).
 SWEEP_VARIANT_PCT ?= 95
 
-.PHONY: build test race vet lint bench bench-smoke bench-gate bench-all benchstat baseline profile sweep
+# Staticcheck release pinned for reproducible lint runs: CI installs
+# exactly this via lint-tools, and so does a developer box. Bump it
+# deliberately, in its own commit.
+STATICCHECK_VERSION ?= 2025.1.1
+
+.PHONY: build test race vet lint lint-tools bench bench-smoke bench-gate bench-all benchstat baseline profile sweep
 
 build:
 	$(GO) build ./...
@@ -27,14 +32,24 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Deprecated-API / static-analysis gate: go vet always, staticcheck when
-# installed (CI installs it; a bare container still gets vet).
+# The static-analysis gate, identical for CI and developers: go vet,
+# then hbvet (the repo's own analyzers — determinism wall, hot-path
+# allocations, metric laws, ctx hygiene) over every package in the
+# module, cmd/ and examples/ included, then staticcheck when installed
+# (CI pins it through lint-tools; a bare container still gets vet+hbvet,
+# which need nothing beyond the Go toolchain).
 lint: vet
+	$(GO) run ./cmd/hbvet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./... ; \
 	else \
-		echo "staticcheck not installed; ran go vet only" ; \
+		echo "staticcheck not installed; run 'make lint-tools' for the pinned version" ; \
 	fi
+
+# Install the pinned lint toolchain (needs network access once; CI
+# restores it from the module cache afterwards).
+lint-tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
 # The crawl-throughput gate (PERF.md): sites/sec, ns/visit, allocs/visit
 # — bare and with the full figure report attached via the metrics API.

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"testing"
+)
+
+// TestDriverRunsEveryAnalyzer guards the registration seam: the driver
+// runs exactly lint.All(), so every analyzer declared in internal/lint
+// (any package-level `var X = &Analyzer{...}`) must appear there —
+// adding a fifth analyzer without registering it fails here instead of
+// shipping silently unenforced.
+func TestDriverRunsEveryAnalyzer(t *testing.T) {
+	running := make(map[string]bool)
+	for _, a := range analyzers() {
+		if a.Name == "" || a.Run == nil {
+			t.Fatalf("registered analyzer %+v missing Name or Run", a)
+		}
+		if running[a.Name] {
+			t.Fatalf("analyzer %q registered twice", a.Name)
+		}
+		running[a.Name] = true
+	}
+
+	declared := declaredAnalyzerNames(t, "../../internal/lint")
+	if len(declared) == 0 {
+		t.Fatal("found no Analyzer declarations in internal/lint")
+	}
+	for _, name := range declared {
+		if !running[name] {
+			t.Errorf("analyzer %q is declared in internal/lint but missing from lint.All()", name)
+		}
+	}
+	if len(declared) != len(running) {
+		t.Errorf("internal/lint declares %d analyzers, the driver runs %d", len(declared), len(running))
+	}
+}
+
+// declaredAnalyzerNames scans dir for package-level
+// `var X = &Analyzer{Name: "...", ...}` declarations and returns the
+// Name literals found.
+func declaredAnalyzerNames(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, val := range vs.Values {
+						if name, ok := analyzerLitName(val); ok {
+							names = append(names, name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return names
+}
+
+// analyzerLitName extracts the Name field of an `&Analyzer{...}`
+// composite literal, if e is one.
+func analyzerLitName(e ast.Expr) (string, bool) {
+	un, ok := e.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return "", false
+	}
+	cl, ok := un.X.(*ast.CompositeLit)
+	if !ok {
+		return "", false
+	}
+	id, ok := cl.Type.(*ast.Ident)
+	if !ok || id.Name != "Analyzer" {
+		return "", false
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		k, ok := kv.Key.(*ast.Ident)
+		if !ok || k.Name != "Name" {
+			continue
+		}
+		lit, ok := kv.Value.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			continue
+		}
+		if name, err := strconv.Unquote(lit.Value); err == nil {
+			return name, true
+		}
+	}
+	return "", false
+}

@@ -75,6 +75,7 @@ func main() {
 	livenet.WaitSettled(func() int {
 		n := 0
 		env.Post(func() { n = page.Inspector.Pending() })
+		//hbvet:allow detwall live-capture example polls a real HTTP stack; real sockets need real time
 		time.Sleep(2 * time.Millisecond)
 		return n
 	}, 300*time.Millisecond, 20*time.Second)

@@ -260,6 +260,7 @@ func (e *Experiment) crawlOptions() crawler.Options {
 // or a sink fails (with that sink's error); sinks are always closed
 // exactly once and metrics are always merged, even on early exit.
 func (e *Experiment) Run(ctx context.Context) (Results, error) {
+	//hbvet:allow detwall Results.Elapsed is wall-clock run metadata for operators; simulated time comes from the per-visit clock.Scheduler
 	start := time.Now()
 	w := e.World()
 	opts := e.crawlOptions()
@@ -320,7 +321,7 @@ func (e *Experiment) Run(ctx context.Context) (Results, error) {
 		Stats:   st.s,
 		Latency: lat.Result(),
 		Metrics: Metrics{ms: e.metrics},
-		Elapsed: time.Since(start),
+		Elapsed: time.Since(start), //hbvet:allow detwall wall-clock elapsed reported to operators, never part of dataset bytes
 	}
 	if runErr != nil {
 		return res, runErr

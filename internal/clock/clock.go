@@ -324,6 +324,7 @@ func (s *Scheduler) RunFor(d time.Duration) int {
 
 // String describes the scheduler state, useful in test failures.
 func (s *Scheduler) String() string {
+	//hbvet:allow hotalloc debug String() runs only in test-failure output, never per visit
 	return fmt.Sprintf("Scheduler{now=%s pending=%d steps=%d}",
 		s.Now().Format(time.RFC3339Nano), len(s.queue), s.steps)
 }

@@ -117,18 +117,18 @@ func ParseSize(str string) (Size, error) {
 	// allocate for the "300X250" spelling and Split always does.
 	i := strings.IndexAny(t, "xX")
 	if i < 0 || strings.IndexAny(t[i+1:], "xX") >= 0 {
-		return Size{}, fmt.Errorf("hb: malformed size %q", str)
+		return Size{}, fmt.Errorf("hb: malformed size %q", str) //hbvet:allow hotalloc cold error path: generated worlds never produce malformed sizes
 	}
 	w, err := strconv.Atoi(strings.TrimSpace(t[:i]))
 	if err != nil {
-		return Size{}, fmt.Errorf("hb: malformed size %q: %v", str, err)
+		return Size{}, fmt.Errorf("hb: malformed size %q: %v", str, err) //hbvet:allow hotalloc cold error path
 	}
 	h, err := strconv.Atoi(strings.TrimSpace(t[i+1:]))
 	if err != nil {
-		return Size{}, fmt.Errorf("hb: malformed size %q: %v", str, err)
+		return Size{}, fmt.Errorf("hb: malformed size %q: %v", str, err) //hbvet:allow hotalloc cold error path
 	}
 	if w <= 0 || h <= 0 {
-		return Size{}, fmt.Errorf("hb: non-positive size %q", str)
+		return Size{}, fmt.Errorf("hb: non-positive size %q", str) //hbvet:allow hotalloc cold error path
 	}
 	return Size{W: w, H: h}, nil
 }

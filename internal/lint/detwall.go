@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Detwall enforces the determinism wall: simulation and analysis code
+// must not read the wall clock, start wall timers, use the global
+// math/rand stream, or let map iteration order reach emitted output.
+// Every byte-identical-output guarantee in the determinism suite — the
+// workers-1-vs-N JSONL tests, the golden report pins, the sweep
+// baseline equivalences — depends on these three prohibitions.
+//
+// internal/clock and internal/rng are the only sanctioned sources of
+// time and randomness and are exempt; everything else (including cmd/
+// and livenet, which legitimately touch the wall clock) must either
+// comply or carry an //hbvet:allow detwall directive with a reason.
+var Detwall = &Analyzer{
+	Name: "detwall",
+	Doc: "forbid wall-clock reads, wall timers, global math/rand, and " +
+		"map-iteration order leaking into appends or emitted output " +
+		"(internal/clock and internal/rng are the sanctioned sources)",
+	Applies: func(pkgPath string) bool {
+		switch pkgPath {
+		case "headerbid/internal/clock", "headerbid/internal/rng":
+			return false
+		}
+		return true
+	},
+	Run: runDetwall,
+}
+
+// wallClockFuncs are the time package entry points that observe or wait
+// on the wall clock. Pure time arithmetic (Duration, Date, Unix) stays
+// legal: it is deterministic given deterministic inputs.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runDetwall(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Wall-clock entry points, resolved through the type
+			// checker so import aliasing can't hide them.
+			if pkgFuncUse(pass.Info, sel.Sel) == "time" && wallClockFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"call to time.%s reads the wall clock: simulation time must come from the injected clock (internal/clock)",
+					sel.Sel.Name)
+			}
+			// Any use of math/rand (v1 or v2): the global stream is
+			// nondeterministic across runs and even seeded sources
+			// bypass the splittable, order-independent internal/rng.
+			if useFromPackage(pass.Info, sel.Sel, "math/rand") ||
+				useFromPackage(pass.Info, sel.Sel, "math/rand/v2") {
+				pass.Reportf(sel.Pos(),
+					"use of math/rand.%s: all simulation randomness must come from the seeded splittable internal/rng",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	pass.funcDecls(func(fd *ast.FuncDecl) {
+		checkMapOrderLeaks(pass, fd)
+	})
+	return nil
+}
+
+// checkMapOrderLeaks flags range-over-map loops whose iteration order
+// can reach output: appends to a variable declared outside the loop
+// that is never deterministically sorted afterwards in the same
+// function, and direct writes (fmt printing, Write/WriteString methods)
+// from inside the loop body.
+func checkMapOrderLeaks(pass *Pass, fd *ast.FuncDecl) {
+	var loops []*ast.RangeStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok && isMapType(typeOf(pass.Info, rs.X)) {
+			loops = append(loops, rs)
+		}
+		return true
+	})
+	for _, rs := range loops {
+		checkMapRangeBody(pass, fd, rs)
+	}
+}
+
+func checkMapRangeBody(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.Info, call) || i >= len(n.Lhs) {
+					continue
+				}
+				target, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					// Indexed appends (dst[k] = append(dst[k], ...))
+					// keyed by the range variable are per-key and
+					// order-free; only flat accumulators leak order.
+					continue
+				}
+				obj := pass.Info.Defs[target]
+				if obj == nil {
+					obj = pass.Info.Uses[target]
+				}
+				if obj == nil || obj.Pos() == 0 {
+					continue
+				}
+				// Only appends to variables that outlive the loop can
+				// publish iteration order.
+				if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+					continue
+				}
+				if sortedAfter(pass, fd, rs, obj) {
+					continue
+				}
+				pass.Reportf(n.Pos(),
+					"append to %s inside range over map publishes map iteration order: sort %s afterwards or iterate a sorted key slice",
+					target.Name, target.Name)
+			}
+		case *ast.CallExpr:
+			if name, ok := emissionCall(pass.Info, n); ok {
+				pass.Reportf(n.Pos(),
+					"%s inside range over map emits in map iteration order: iterate a sorted key slice instead",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether obj is passed to a recognized sorting
+// call after the loop ends, within the same function body — the
+// canonical collect-keys-then-sort pattern.
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		if !isSortCall(pass.Info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if objUsedIn(pass.Info, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall recognizes the deterministic sorting entry points of the
+// sort and slices packages.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	switch pkgFuncUse(info, sel.Sel) {
+	case "sort":
+		switch name {
+		case "Strings", "Ints", "Float64s", "Sort", "Stable", "Slice", "SliceStable":
+			return true
+		}
+	case "slices":
+		return strings.HasPrefix(name, "Sort")
+	}
+	return false
+}
+
+// emissionCall reports whether call writes output whose byte order
+// would reflect the enclosing iteration order: fmt printing or a
+// Write/WriteString/WriteByte/WriteRune method (io.Writer,
+// strings.Builder, bufio.Writer, ...).
+func emissionCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if pkgFuncUse(info, sel.Sel) == "fmt" {
+		switch sel.Sel.Name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return "fmt." + sel.Sel.Name, true
+		}
+	}
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		switch sel.Sel.Name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return "call to " + sel.Sel.Name, true
+		}
+	}
+	return "", false
+}

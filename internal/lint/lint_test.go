@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	src := `package p
+
+//hbvet:allow
+func a() {}
+
+//hbvet:allow nosuchrule some reason
+func b() {}
+
+//hbvet:allow detwall
+func c() {}
+`
+	s := scanSuppressions(parseSrc(t, src))
+	if len(s.malformed) != 3 {
+		t.Fatalf("got %d malformed diagnostics, want 3: %v", len(s.malformed), s.malformed)
+	}
+	for i, wantSub := range []string{
+		"malformed directive",
+		`unknown rule "nosuchrule"`,
+		"no reason",
+	} {
+		d := s.malformed[i]
+		if d.Analyzer != "hbvet" {
+			t.Errorf("malformed[%d].Analyzer = %q, want hbvet", i, d.Analyzer)
+		}
+		if !strings.Contains(d.Message, wantSub) {
+			t.Errorf("malformed[%d] = %q, want substring %q", i, d.Message, wantSub)
+		}
+	}
+	// None of the malformed directives suppress anything.
+	for line := 1; line <= 11; line++ {
+		for _, rule := range []string{"detwall", "hotalloc", "metriclaws", "sinkctx"} {
+			if s.covers(rule, "p.go", line) {
+				t.Errorf("malformed directive suppresses %s at line %d", rule, line)
+			}
+		}
+	}
+}
+
+func TestSuppressionCoverage(t *testing.T) {
+	src := `package p
+
+func a() int {
+	x := 1 //hbvet:allow detwall trailing reason
+	return x
+}
+
+//hbvet:allow hotalloc standalone reason
+func b() {}
+
+func c() {}
+`
+	s := scanSuppressions(parseSrc(t, src))
+	if len(s.malformed) != 0 {
+		t.Fatalf("unexpected malformed diagnostics: %v", s.malformed)
+	}
+	cases := []struct {
+		rule string
+		line int
+		want bool
+	}{
+		{"detwall", 4, true},  // the directive's own line
+		{"detwall", 5, true},  // first line after the group
+		{"detwall", 6, false}, // two lines after: out of reach
+		{"hotalloc", 8, true}, // standalone directive line
+		{"hotalloc", 9, true}, // the declaration beneath it
+		{"hotalloc", 11, false},
+		{"hotalloc", 4, false}, // wrong rule for the trailing directive
+		{"detwall", 8, false},  // wrong rule for the standalone directive
+	}
+	for _, c := range cases {
+		if got := s.covers(c.rule, "p.go", c.line); got != c.want {
+			t.Errorf("covers(%s, p.go, %d) = %v, want %v", c.rule, c.line, got, c.want)
+		}
+	}
+}
+
+func TestDirectiveCoversWholeGroup(t *testing.T) {
+	src := `package p
+
+// Explanatory prose above the directive.
+//hbvet:allow detwall multi-line group reason
+// Trailing prose inside the same group.
+func a() {}
+`
+	s := scanSuppressions(parseSrc(t, src))
+	for line := 3; line <= 6; line++ {
+		if !s.covers("detwall", "p.go", line) {
+			t.Errorf("directive group does not cover line %d", line)
+		}
+	}
+	if s.covers("detwall", "p.go", 7) {
+		t.Error("directive reaches past the line after its group")
+	}
+}
+
+func TestAllAnalyzersWellFormed(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing Name, Doc or Run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if !knownRule(a.Name) {
+			t.Errorf("knownRule(%q) = false for a registered analyzer", a.Name)
+		}
+	}
+	if knownRule("nosuchrule") {
+		t.Error(`knownRule("nosuchrule") = true`)
+	}
+}
+
+// TestAppliesScopes pins the package scoping each analyzer declares.
+func TestAppliesScopes(t *testing.T) {
+	cases := []struct {
+		a    *Analyzer
+		path string
+		want bool
+	}{
+		{Detwall, "headerbid/internal/crawler", true},
+		{Detwall, "headerbid/internal/clock", false},
+		{Detwall, "headerbid/internal/rng", false},
+		{Hotalloc, "headerbid/internal/pagert", true},
+		{Hotalloc, "headerbid/internal/sitegen", true},
+		{Hotalloc, "headerbid/internal/report", false},
+	}
+	for _, c := range cases {
+		if got := c.a.Applies(c.path); got != c.want {
+			t.Errorf("%s.Applies(%s) = %v, want %v", c.a.Name, c.path, got, c.want)
+		}
+	}
+	for _, a := range []*Analyzer{Metriclaws, Sinkctx} {
+		if a.Applies != nil {
+			t.Errorf("%s.Applies should be nil (every package)", a.Name)
+		}
+	}
+}

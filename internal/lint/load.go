@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// This file is hbvet's package loader: a minimal, offline equivalent of
+// golang.org/x/tools/go/packages built on `go list -export`. The go
+// command compiles (or reuses from the build cache) every dependency
+// and reports the path of each package's export data; the target
+// packages themselves are parsed and typechecked from source with the
+// standard library's gc importer reading that export data. No network,
+// no third-party modules, full types.Info.
+
+// A Package is one typechecked target package ready for analysis.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the package directory on disk.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output hbvet consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` over patterns in dir and
+// returns the decoded packages (dependencies first, roots flagged with
+// DepOnly=false).
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the importer lookup function over the export
+// files `go list` reported.
+func exportLookup(exports map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Load typechecks the packages matching patterns (resolved relative to
+// dir, e.g. "./..."), returning them sorted by import path. Test files
+// are not loaded: hbvet checks the shipped sources; tests measure wall
+// time and seed ad-hoc RNGs legitimately.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var roots []*listedPackage
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			roots = append(roots, p)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	pkgs := make([]*Package, 0, len(roots))
+	for _, r := range roots {
+		files := make([]string, len(r.GoFiles))
+		for i, f := range r.GoFiles {
+			files[i] = filepath.Join(r.Dir, f)
+		}
+		pkg, err := checkFiles(fset, imp, r.ImportPath, r.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir typechecks a single directory of Go files as the package at
+// the given (possibly synthetic) import path, resolving its imports via
+// `go list -export` run from moduleDir. This is the testdata loader:
+// testdata packages live outside the module's package graph but still
+// get full type information.
+func LoadDir(moduleDir, pkgDir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, filepath.Join(pkgDir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", pkgDir)
+	}
+	sort.Strings(files)
+
+	// Parse first to learn the import set, then ask the go command for
+	// export data of exactly those packages (and their deps).
+	fset := token.NewFileSet()
+	var asts []*ast.File
+	imports := make(map[string]bool)
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			imports[path] = true
+		}
+	}
+	patterns := make([]string, 0, len(imports))
+	for path := range imports {
+		patterns = append(patterns, path)
+	}
+	sort.Strings(patterns)
+
+	exports := make(map[string]string)
+	if len(patterns) > 0 {
+		listed, err := goList(moduleDir, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Error != nil {
+				return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	return checkPreparsed(fset, imp, pkgPath, pkgDir, asts)
+}
+
+// checkFiles parses and typechecks one package's source files.
+func checkFiles(fset *token.FileSet, imp types.Importer, pkgPath, dir string, files []string) (*Package, error) {
+	asts := make([]*ast.File, 0, len(files))
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+	}
+	return checkPreparsed(fset, imp, pkgPath, dir, asts)
+}
+
+func checkPreparsed(fset *token.FileSet, imp types.Importer, pkgPath, dir string, asts []*ast.File) (*Package, error) {
+	info := newTypesInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(pkgPath, fset, asts, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", pkgPath, errors.Join(typeErrs...))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", pkgPath, err)
+	}
+	return &Package{
+		Path:  pkgPath,
+		Dir:   dir,
+		Fset:  fset,
+		Files: asts,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

@@ -1,0 +1,93 @@
+// Package detwall exercises the determinism-wall analyzer: wall-clock
+// reads, wall timers, global math/rand, and map-iteration order leaks.
+package detwall
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()          // want detwall "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want detwall "time.Sleep reads the wall clock"
+	return time.Since(start)     // want detwall "time.Since reads the wall clock"
+}
+
+func wallTimer(fn func()) *time.Timer {
+	return time.AfterFunc(time.Second, fn) // want detwall "time.AfterFunc reads the wall clock"
+}
+
+func pureTimeArithmetic(d time.Duration) time.Time {
+	// Deterministic time arithmetic stays legal.
+	return time.Date(2019, time.March, 1, 0, 0, 0, 0, time.UTC).Add(d)
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want detwall "math/rand.Intn:"
+}
+
+func seededRand(seed int64) int64 {
+	// Even a locally seeded source bypasses internal/rng; every
+	// math/rand mention is flagged, methods included.
+	r := rand.New(rand.NewSource(seed)) // want detwall "math/rand.New:" detwall "math/rand.NewSource:"
+	return r.Int63()                    // want detwall "math/rand.Int63:"
+}
+
+func leakKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want detwall "publishes map iteration order"
+	}
+	return keys
+}
+
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func perKeyAppend(src, dst map[string][]int) {
+	for k, vs := range src {
+		// Indexed appends keyed by the range variable are per-key and
+		// order-free.
+		dst[k] = append(dst[k], vs...)
+	}
+}
+
+func localAccumulator(m map[string][]string) int {
+	n := 0
+	for _, vs := range m {
+		var local []string
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+func printUnsorted(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want detwall "emits in map iteration order"
+	}
+}
+
+func writeUnsorted(b *strings.Builder, m map[string]int) {
+	for k := range m {
+		b.WriteString(k) // want detwall "emits in map iteration order"
+	}
+}
+
+func allowedTrailing() time.Time {
+	return time.Now() //hbvet:allow detwall testdata: trailing directive must silence this line
+}
+
+func allowedStandalone() time.Time {
+	//hbvet:allow detwall testdata: standalone directive must silence the next line
+	return time.Now()
+}

@@ -1,0 +1,60 @@
+// Package hotalloc exercises the hot-path allocation analyzer: fmt
+// formatting calls and per-iteration capturing closures.
+package hotalloc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+func format(n int) string {
+	return fmt.Sprintf("n=%d", n) // want hotalloc "fmt.Sprintf on the hot path"
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("wrapped: %w", err) // want hotalloc "fmt.Errorf on the hot path"
+}
+
+func fastPath(n int) string {
+	// strconv builders are the sanctioned replacement.
+	return "n=" + strconv.Itoa(n)
+}
+
+func closurePerIteration(xs []int) func() int {
+	var last func() int
+	for _, x := range xs {
+		x := x
+		last = func() int { return x } // want hotalloc "capturing closure inside a loop"
+	}
+	return last
+}
+
+func nonCapturingInLoop(xs []int) func() int {
+	var f func() int
+	for range xs {
+		// Captures nothing: materialized once by the compiler.
+		f = func() int { return 0 }
+	}
+	return f
+}
+
+func hoistedClosure(xs []int) int {
+	total := 0
+	add := func(n int) { total += n }
+	for _, x := range xs {
+		add(x)
+	}
+	return total
+}
+
+func allowedCold(err error) error {
+	return fmt.Errorf("cold: %w", err) //hbvet:allow hotalloc testdata: cold error path stays suppressed
+}
+
+func allowedSetupLoop(hosts []string, handle func(string, func() string)) {
+	for _, h := range hosts {
+		h := h
+		//hbvet:allow hotalloc testdata: one-time setup loop stays suppressed
+		handle(h, func() string { return h })
+	}
+}

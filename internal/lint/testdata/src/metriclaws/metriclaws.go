@@ -1,0 +1,107 @@
+// Package metriclaws exercises the metric-law analyzer against
+// implementations of the real analysis.Metric interface.
+package metriclaws
+
+import (
+	"headerbid/internal/analysis"
+	"headerbid/internal/dataset"
+)
+
+// badMetric breaks the receiver laws: value-receiver Add/Merge mutate a
+// copy, and NewShard/Snapshot hand out the accumulator itself.
+type badMetric struct {
+	counts map[string]int
+}
+
+func (m badMetric) Name() string { return "bad" }
+
+func (m badMetric) Add(r *dataset.SiteRecord) { // want metriclaws "value receiver"
+	_ = r
+	m.counts["visit"]++
+}
+
+func (m badMetric) Merge(other analysis.Metric) { // want metriclaws "value receiver"
+	for k, v := range other.(badMetric).counts {
+		m.counts[k] += v
+	}
+}
+
+func (m badMetric) NewShard() analysis.Metric {
+	return m // want metriclaws "returns the receiver"
+}
+
+func (m badMetric) Snapshot() any {
+	return m // want metriclaws "returns the receiver"
+}
+
+// aliasShard gets the receivers right but aliases shard state.
+type aliasShard struct{ n int }
+
+func (m *aliasShard) Name() string              { return "alias" }
+func (m *aliasShard) Add(r *dataset.SiteRecord) { m.n++ }
+func (m *aliasShard) Merge(o analysis.Metric)   { m.n += o.(*aliasShard).n }
+func (m *aliasShard) Snapshot() any             { return m.n }
+func (m *aliasShard) NewShard() analysis.Metric {
+	return m // want metriclaws "returns the receiver"
+}
+
+// leakyMetric reports correctly shaped shards but leaks its live map.
+type leakyMetric struct {
+	counts map[string]int
+}
+
+func (m *leakyMetric) Name() string              { return "leaky" }
+func (m *leakyMetric) Add(r *dataset.SiteRecord) { m.counts["visit"]++ }
+func (m *leakyMetric) Merge(o analysis.Metric) {
+	for k, v := range o.(*leakyMetric).counts {
+		m.counts[k] += v
+	}
+}
+func (m *leakyMetric) NewShard() analysis.Metric {
+	return &leakyMetric{counts: make(map[string]int)}
+}
+func (m *leakyMetric) Snapshot() any {
+	return m.counts // want metriclaws "internal field counts by reference"
+}
+
+// goodMetric satisfies every law: pointer receivers, fresh shards, a
+// copied snapshot.
+type goodMetric struct {
+	counts map[string]int
+}
+
+func (m *goodMetric) Name() string              { return "good" }
+func (m *goodMetric) Add(r *dataset.SiteRecord) { m.counts["visit"]++ }
+func (m *goodMetric) Merge(o analysis.Metric) {
+	for k, v := range o.(*goodMetric).counts {
+		m.counts[k] += v
+	}
+}
+func (m *goodMetric) NewShard() analysis.Metric {
+	return &goodMetric{counts: make(map[string]int)}
+}
+func (m *goodMetric) Snapshot() any {
+	out := make(map[string]int, len(m.counts))
+	for k, v := range m.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// composite mirrors report.Figures: Snapshot deliberately hands back
+// the live accumulator and says so with a directive.
+type composite struct{ n int }
+
+func (c *composite) Name() string              { return "composite" }
+func (c *composite) Add(r *dataset.SiteRecord) { c.n++ }
+func (c *composite) Merge(o analysis.Metric)   { c.n += o.(*composite).n }
+func (c *composite) NewShard() analysis.Metric { return &composite{} }
+func (c *composite) Snapshot() any {
+	return c //hbvet:allow metriclaws testdata: composite view returned deliberately
+}
+
+// notAMetric does not implement Metric; its value receiver is nobody's
+// business.
+type notAMetric struct{ n int }
+
+func (x notAMetric) Add(v int) notAMetric { x.n += v; return x }

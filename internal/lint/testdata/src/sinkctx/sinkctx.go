@@ -1,0 +1,87 @@
+// Package sinkctx exercises the cancellation-hygiene analyzer: ignored
+// ctx parameters, fresh context roots, and unchecked channel drains.
+package sinkctx
+
+import "context"
+
+func ignoredCtx(ctx context.Context, n int) int { // want sinkctx "never used"
+	return n * 2
+}
+
+func propagated(ctx context.Context, f func(context.Context) error) error {
+	return f(ctx)
+}
+
+func blankCtx(_ context.Context, n int) int { return n }
+
+func freshRoot(ctx context.Context, f func(context.Context) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return f(context.Background()) // want sinkctx "context.Background"
+}
+
+func nestedLit(ctx context.Context, run func(func())) {
+	// Literals inherit "ctx is in scope" from the enclosing function.
+	run(func() {
+		_ = context.TODO() // want sinkctx "context.TODO"
+	})
+	_ = ctx.Err()
+}
+
+func rootWithoutCtx() context.Context {
+	// No ctx parameter anywhere: minting a root is legitimate.
+	return context.Background()
+}
+
+func drainUnchecked(ctx context.Context, ch <-chan int) int {
+	total := 0
+	if ctx.Err() != nil {
+		return 0
+	}
+	for v := range ch { // want sinkctx "channel-drain loop never consults ctx"
+		total += v
+	}
+	return total
+}
+
+func drainChecked(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for v := range ch {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += v
+	}
+	return total
+}
+
+func selectDrain(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for {
+		select {
+		case v, ok := <-ch:
+			if !ok {
+				return total
+			}
+			total += v
+		case <-ctx.Done():
+			return total
+		}
+	}
+}
+
+func drainNoCtx(ch <-chan int) int {
+	// No ctx in scope: nothing to consult, nothing to flag.
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+func allowedFreshRoot(ctx context.Context, f func(context.Context) error) error {
+	_ = ctx.Err()
+	//hbvet:allow sinkctx testdata: detached background work by design
+	return f(context.Background())
+}

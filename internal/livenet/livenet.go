@@ -86,11 +86,12 @@ func (s *Server) route(rw http.ResponseWriter, req *http.Request) {
 		URL:    "https://" + host + req.URL.RequestURI(),
 		Method: webreq.Method(req.Method),
 		Body:   string(body),
-		Sent:   time.Now(),
+		Sent:   time.Now(), //hbvet:allow detwall livenet serves real HTTP; request timestamps are genuinely wall-clock
 	}
 
 	status, respBody, service := s.dispatch(domain, wr)
 	if service > 0 {
+		//hbvet:allow detwall simulated service latency over a real socket must burn real time
 		time.Sleep(time.Duration(float64(service) * s.ServiceScale))
 	}
 	rw.WriteHeader(status)
@@ -165,6 +166,8 @@ func (e *Env) loop() {
 func (e *Env) Close() { e.stopped.Do(func() { close(e.doneCh) }) }
 
 // Now returns wall-clock time.
+//
+//hbvet:allow detwall livenet IS the wall-clock browser.Env: the integration proof that the pipeline survives real time
 func (e *Env) Now() time.Time { return time.Now() }
 
 // Post schedules fn on the event loop.
@@ -177,6 +180,7 @@ func (e *Env) Post(fn func()) {
 
 // After schedules fn on the event loop after d of real time.
 func (e *Env) After(d time.Duration, fn func()) {
+	//hbvet:allow detwall real timers are the live analogue of the scheduler's virtual After
 	time.AfterFunc(d, func() { e.Post(fn) })
 }
 
@@ -215,18 +219,22 @@ func (e *Env) Fetch(req *webreq.Request, cb func(*webreq.Response)) {
 // for quiet, or deadline passes. It is the live analogue of running the
 // virtual clock forward.
 func WaitSettled(pending func() int, quiet, deadline time.Duration) bool {
+	//hbvet:allow detwall polling a live HTTP stack for quiescence is inherently wall-clock
 	end := time.Now().Add(deadline)
 	quietStart := time.Time{}
+	//hbvet:allow detwall wall-clock deadline loop over a real network
 	for time.Now().Before(end) {
 		if pending() == 0 {
 			if quietStart.IsZero() {
+				//hbvet:allow detwall wall-clock quiet-window tracking
 				quietStart = time.Now()
-			} else if time.Since(quietStart) >= quiet {
+			} else if time.Since(quietStart) >= quiet { //hbvet:allow detwall real elapsed time in the live quiet-window check
 				return true
 			}
 		} else {
 			quietStart = time.Time{}
 		}
+		//hbvet:allow detwall poll interval between live pending-count samples
 		time.Sleep(5 * time.Millisecond)
 	}
 	return false

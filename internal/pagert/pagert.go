@@ -57,7 +57,7 @@ type PageConfig struct {
 func (c *PageConfig) InlineScript() (string, error) {
 	blob, err := json.Marshal(c)
 	if err != nil {
-		return "", fmt.Errorf("pagert: encode config: %w", err)
+		return "", fmt.Errorf("pagert: encode config: %w", err) //hbvet:allow hotalloc cold error path: Marshal of these types cannot fail
 	}
 	return "var " + ConfigMarker + " = " + string(blob) + ";", nil
 }
@@ -114,11 +114,11 @@ func parseInlineConfig(inline string) (*PageConfig, error) {
 	start := strings.IndexByte(inline, '{')
 	end := strings.LastIndexByte(inline, '}')
 	if start < 0 || end <= start {
-		return nil, fmt.Errorf("pagert: malformed inline config")
+		return nil, fmt.Errorf("pagert: malformed inline config") //hbvet:allow hotalloc cold error path, and parse outcomes are memoized in configCache
 	}
 	var cfg PageConfig
 	if err := json.Unmarshal([]byte(inline[start:end+1]), &cfg); err != nil {
-		return nil, fmt.Errorf("pagert: parse inline config: %w", err)
+		return nil, fmt.Errorf("pagert: parse inline config: %w", err) //hbvet:allow hotalloc cold error path behind the memoizing configCache
 	}
 	for i := range cfg.AdUnits {
 		if err := cfg.AdUnits[i].NormalizeSizes(); err != nil {

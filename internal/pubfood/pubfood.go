@@ -151,6 +151,14 @@ func (l *Library) Start(done func(*Result)) {
 		l.callAdServer(res, bySlot, auctionIDs, done)
 	}
 
+	// One completion callback shared by every provider (the slug rides
+	// in as an argument), instead of a fresh closure per provider.
+	onDone := func(slug string) {
+		delete(outstanding, slug)
+		if pending == 0 && !finalized {
+			finalize()
+		}
+	}
 	for _, p := range l.cfg.Providers {
 		prof, ok := l.reg.BySlug(p.Name)
 		if !ok {
@@ -158,13 +166,7 @@ func (l *Library) Start(done func(*Result)) {
 		}
 		pending++
 		outstanding[prof.Slug] = true
-		slug := prof.Slug
-		l.sendBid(prof, bySlot, auctionIDs, &pending, func() {
-			delete(outstanding, slug)
-			if pending == 0 && !finalized {
-				finalize()
-			}
-		})
+		l.sendBid(prof, bySlot, auctionIDs, &pending, onDone)
 	}
 	if pending == 0 {
 		finalize()
@@ -173,9 +175,10 @@ func (l *Library) Start(done func(*Result)) {
 	l.env.After(l.cfg.Timeout(), finalize)
 }
 
-// sendBid issues one provider's request covering all slots.
+// sendBid issues one provider's request covering all slots. onDone is
+// shared across providers and receives this provider's slug.
 func (l *Library) sendBid(prof *partners.Profile, bySlot map[string]*SlotResult,
-	auctionIDs map[string]string, pending *int, onDone func()) {
+	auctionIDs map[string]string, pending *int, onDone func(slug string)) {
 	now := l.env.Now()
 	var imps []rtb.Impression
 	for _, s := range l.cfg.Slots {
@@ -198,7 +201,7 @@ func (l *Library) sendBid(prof *partners.Profile, bySlot map[string]*SlotResult,
 	body, err := json.Marshal(&breq)
 	if err != nil {
 		*pending--
-		onDone()
+		onDone(prof.Slug)
 		return
 	}
 	bidParams := map[string]string{hb.KeyBidderFull: prof.Slug}
@@ -213,7 +216,7 @@ func (l *Library) sendBid(prof *partners.Profile, bySlot map[string]*SlotResult,
 	sent := now
 	l.env.Fetch(req, func(resp *webreq.Response) {
 		*pending--
-		defer onDone()
+		defer onDone(prof.Slug)
 		if !resp.OK() {
 			return
 		}
@@ -315,7 +318,7 @@ func (l *Library) render(res *Result, bySlot map[string]*SlotResult,
 		pending++
 		l.env.Fetch(&webreq.Request{
 			URL: parts[2], Method: webreq.GET, Kind: webreq.KindCreative, Sent: l.env.Now(),
-		}, func(cresp *webreq.Response) {
+		}, func(cresp *webreq.Response) { //hbvet:allow hotalloc per-creative callback captures per-line state; flattening it is ROADMAP hot-path item 1
 			pending--
 			now := l.env.Now()
 			if fails || !cresp.OK() {

@@ -126,6 +126,8 @@ func (f *Figures) Merge(other analysis.Metric) {
 }
 
 // Snapshot returns the accumulator itself; render it with Render.
+//
+//hbvet:allow metriclaws Figures is a composite view over sub-metrics; Render needs the live accumulator, and callers treat it as read-only
 func (f *Figures) Snapshot() any { return f }
 
 // Summary returns the Table-1 roll-up over everything folded in.

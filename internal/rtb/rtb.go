@@ -104,7 +104,7 @@ func (r *BidRequest) Encode() ([]byte, error) { return json.Marshal(r) }
 func DecodeBidResponse(body []byte) (*BidResponse, error) {
 	var resp BidResponse
 	if err := json.Unmarshal(body, &resp); err != nil {
-		return nil, fmt.Errorf("rtb: malformed bid response: %w", err)
+		return nil, fmt.Errorf("rtb: malformed bid response: %w", err) //hbvet:allow hotalloc cold error path: simulated partners emit well-formed JSON
 	}
 	return &resp, nil
 }

@@ -555,6 +555,7 @@ func (w *World) sharedHandlers() map[string]sharedHandler {
 		m := make(map[string]sharedHandler, w.Registry.Len()+8)
 		for _, p := range w.Registry.All() {
 			p := p
+			//hbvet:allow hotalloc built once per world under sharedOnce, amortized over every visit
 			m[urlkit.RegistrableDomain(p.Host)] = func(eco *Ecosystem, req *webreq.Request) (int, string, time.Duration) {
 				return eco.HandlePartner(p, req)
 			}
@@ -600,6 +601,7 @@ func (w *World) InstallSimnet(n *simnet.Network) *Ecosystem {
 	eco := NewEcosystemSeed(w, w.Cfg.Seed^n.Seed())
 	for key, sh := range w.sharedHandlers() {
 		sh := sh
+		//hbvet:allow hotalloc eager install runs once per long-lived network, not on the per-visit path (that is InstallSimnetFor)
 		n.Handle(key, func(req *webreq.Request) (int, string, time.Duration) {
 			return sh(eco, req)
 		})

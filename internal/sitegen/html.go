@@ -1,7 +1,7 @@
 package sitegen
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 
 	"headerbid/internal/hb"
@@ -70,8 +70,11 @@ func (w *World) renderPageHTML(s *Site) string {
 	body.WriteString("<h1>" + s.Domain + "</h1>\n")
 	if s.HB {
 		for _, u := range s.AdUnits {
-			body.WriteString(fmt.Sprintf("<div id=%q class=\"ad\" data-size=%q></div>\n",
-				u.Code, u.PrimarySize().String()))
+			// strconv.Quote renders %q byte-identically for these
+			// ASCII codes/sizes (pinned by TestPageHTMLQuotingPinnedToFmt).
+			body.WriteString("<div id=" + strconv.Quote(u.Code) +
+				" class=\"ad\" data-size=" + strconv.Quote(u.PrimarySize().String()) +
+				"></div>\n")
 		}
 	}
 	body.WriteString("<p>Lorem ipsum editorial content.</p>\n")

@@ -13,8 +13,8 @@
 package sitegen
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"headerbid/internal/hb"
@@ -213,9 +213,27 @@ func (w *World) HBSites() []*Site {
 	return out
 }
 
+// siteDomain renders "siteNNNNN.example" (zero-padded to five digits,
+// byte-identical to the fmt.Sprintf("site%05d.example", rank) it
+// replaces — pinned by TestSiteDomainPinnedToFmt). World generation
+// mints one domain per site, which makes this a hot spot once the
+// sharded 10M-site worlds of ROADMAP item 2 regenerate their slice of
+// the population per process.
+func siteDomain(rank int) string {
+	digits := strconv.Itoa(rank)
+	b := make([]byte, 0, len("site.example")+max(5, len(digits)))
+	b = append(b, "site"...)
+	for pad := 5 - len(digits); pad > 0; pad-- {
+		b = append(b, '0')
+	}
+	b = append(b, digits...)
+	b = append(b, ".example"...)
+	return string(b)
+}
+
 // generateSite builds one site from its stable per-rank stream.
 func generateSite(cfg Config, reg *partners.Registry, rank int) *Site {
-	domain := fmt.Sprintf("site%05d.example", rank)
+	domain := siteDomain(rank)
 	r := rng.SplitStable(cfg.Seed, "site/"+domain)
 
 	s := &Site{
@@ -440,7 +458,7 @@ func generateAdUnits(cfg Config, r *rng.Stream, facet hb.Facet, bidders []string
 	for i := 0; i < n; i++ {
 		size := sampleSlotSize(r, facet)
 		u := prebid.AdUnit{
-			Code:    fmt.Sprintf("div-gpt-ad-%d", i+1),
+			Code:    "div-gpt-ad-" + strconv.Itoa(i+1),
 			Sizes:   []hb.Size{size},
 			Bidders: unitBidders(r, bidders),
 		}
@@ -455,7 +473,7 @@ func generateAdUnits(cfg Config, r *rng.Stream, facet hb.Facet, bidders []string
 		for d := 0; d < extra; d++ {
 			for i := 0; i < base; i++ {
 				u := units[i]
-				u.Code = fmt.Sprintf("%s-%s", units[i].Code, devices[d])
+				u.Code = units[i].Code + "-" + devices[d]
 				units = append(units, u)
 			}
 		}

@@ -1,0 +1,38 @@
+package webreq
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Exchange.String is rendered without fmt (hotalloc); pin the strconv
+// form byte-for-byte to the fmt rendering it replaced.
+func TestExchangeStringPinnedToFmt(t *testing.T) {
+	sent := time.Date(2019, 2, 1, 0, 0, 0, 0, time.UTC)
+	cases := []Exchange{
+		{Request: &Request{URL: "https://bid.adnxs.com/hb", Method: POST, Sent: sent}},
+		{
+			Request:  &Request{URL: "https://x.example/a", Method: GET, Sent: sent},
+			Response: &Response{Status: 204, Received: sent.Add(37 * time.Millisecond)},
+		},
+		{
+			Request:  &Request{URL: "https://y.example/b", Method: GET, Sent: sent},
+			Response: &Response{Err: "timeout", Received: sent.Add(5 * time.Second)},
+		},
+	}
+	for _, x := range cases {
+		status := "pending"
+		if x.Response != nil {
+			if x.Response.Err != "" {
+				status = "err:" + x.Response.Err
+			} else {
+				status = fmt.Sprintf("%d", x.Response.Status)
+			}
+		}
+		want := fmt.Sprintf("%s %s -> %s (%s)", x.Request.Method, x.Request.URL, status, x.Latency())
+		if got := x.String(); got != want {
+			t.Errorf("Exchange.String() = %q, want fmt-pinned %q", got, want)
+		}
+	}
+}

@@ -5,7 +5,7 @@
 package webreq
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -133,10 +133,11 @@ func (x Exchange) String() string {
 		if x.Response.Err != "" {
 			status = "err:" + x.Response.Err
 		} else {
-			status = fmt.Sprintf("%d", x.Response.Status)
+			status = strconv.Itoa(x.Response.Status)
 		}
 	}
-	return fmt.Sprintf("%s %s -> %s (%s)", x.Request.Method, x.Request.URL, status, x.Latency())
+	return string(x.Request.Method) + " " + x.Request.URL + " -> " + status +
+		" (" + x.Latency().String() + ")"
 }
 
 // RequestHook observes an outgoing request; ResponseHook observes a

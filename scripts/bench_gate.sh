@@ -25,6 +25,17 @@ MAX_ALLOCS=${MAX_ALLOCS:-200}
 MAX_METRICS_OVERHEAD_PCT=${MAX_METRICS_OVERHEAD_PCT:-10}
 MAX_SWEEP_VARIANT_PCT=${MAX_SWEEP_VARIANT_PCT:-95}
 GATE_ATTEMPTS=${GATE_ATTEMPTS:-3}
+BASELINE=${BASELINE:-perf/bench.baseline.txt}
+
+# The ceilings above are derived from the committed reference numbers,
+# and any failure here is triaged against them (make benchstat). Refuse
+# to gate against ceilings nobody can trace: fail up front, with
+# instructions, when the baseline is missing.
+if [ ! -f "$BASELINE" ]; then
+    echo "bench gate: committed bench baseline $BASELINE is missing." >&2
+    echo "bench gate: run 'make baseline' on the reference machine and commit the file before gating." >&2
+    exit 1
+fi
 
 # metric_of <output> <benchmark> <metric>: pull one custom metric value
 # off the benchmark's output line (name may carry a -GOMAXPROCS suffix).
