@@ -102,7 +102,17 @@ func (f firstOf[T]) add(domain string, day int, val T) {
 // merge folds another shard's choices in, keeping the smaller day per
 // domain. A crawl visits each (domain, day) at most once, so no two
 // shards ever tie and the merge is commutative and associative.
-func (f firstOf[T]) merge(o firstOf[T]) {
+//
+// The argument is consumed: a shard passed to merge must not be added
+// to or merged again afterwards (the experiment discards shards once
+// folded in). That is what lets an empty receiver — the common "first
+// shard into the root" case — adopt the shard's map outright instead of
+// re-inserting every entry through the grow-and-rehash ramp.
+func (f *firstOf[T]) merge(o firstOf[T]) {
+	if len(f.m) == 0 {
+		f.m = o.m
+		return
+	}
 	for dom, e := range o.m {
 		if cur, ok := f.m[dom]; !ok || e.day < cur.day {
 			f.m[dom] = e
@@ -124,9 +134,17 @@ func (f firstOf[T]) len() int { return len(f.m) }
 // mergeSamples appends per-key sample slices map-wise — the shard merge
 // for every map[K][]float64 accumulator. Downstream summaries (ECDF,
 // Box) sort the samples, so append order never reaches the result.
+// Keys the destination has never seen adopt the shard's slice instead
+// of copying it (merge arguments are consumed, so the aliasing is
+// invisible); the first shard folded into an empty root transfers its
+// entire sample set without a single copy.
 func mergeSamples[K comparable](dst, src map[K][]float64) {
 	for k, xs := range src {
-		dst[k] = append(dst[k], xs...)
+		if cur, ok := dst[k]; ok {
+			dst[k] = append(cur, xs...)
+		} else {
+			dst[k] = xs
+		}
 	}
 }
 

@@ -108,6 +108,26 @@ func NewPage(env Env, opts Options) *Page {
 	return p
 }
 
+// Rebind returns the page to the state NewPage(env, opts) would produce,
+// reusing the bus's and inspector's storage. The crawler pools one page
+// per worker and rebinds it before every visit — the "new, clean
+// instance" policy without the per-visit bus/inspector/hook-table
+// allocations. Callers must not rebind while callbacks of the previous
+// visit can still fire (the crawler resets its scheduler first, which
+// drops them).
+func (p *Page) Rebind(env Env, opts Options) {
+	p.URL = ""
+	p.Bus.Reset(!opts.NoEventHistory)
+	p.Inspector.Reset()
+	p.env = env
+	p.envFetch, _ = env.(CallFetcher)
+	p.envSched, _ = env.(CallScheduler)
+	p.opts = opts
+	p.busyUntil = time.Time{}
+	p.closed = false
+	p.Doc = nil
+}
+
 // Now implements the library Env.
 func (p *Page) Now() time.Time { return p.env.Now() }
 
@@ -339,7 +359,14 @@ func (vs *visitState) settle() { vs.res.Settled = true }
 // loaded and scripts have been started, or on failure/timeout. Page
 // activity continues after done; callers decide how long to let it settle.
 func (b *Browser) Visit(url string, done func(*Page, *VisitResult)) *Page {
-	page := NewPage(b.Env, b.Opts)
+	return b.VisitPage(NewPage(b.Env, b.Opts), url, done)
+}
+
+// VisitPage is Visit on a caller-supplied (pooled) page. The page is
+// rebound to this browser's Env and Options first, so a reused page is
+// observationally identical to the fresh one Visit creates.
+func (b *Browser) VisitPage(page *Page, url string, done func(*Page, *VisitResult)) *Page {
+	page.Rebind(b.Env, b.Opts)
 	page.URL = url
 	vs := &visitState{
 		b:       b,

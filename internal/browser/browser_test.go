@@ -245,3 +245,45 @@ func TestVisitResultSettled(t *testing.T) {
 		t.Fatalf("settle callback not propagated: %+v", vr)
 	}
 }
+
+func TestVisitPageReuseMatchesFreshVisit(t *testing.T) {
+	env := newFakeEnv()
+	env.pages["https://www.pub.example/"] = `<head><script src="https://cdn.a.example/a.js"></script></head>`
+	env.pages["https://cdn.a.example/a.js"] = "/*a*/"
+	env.pages["https://www.other.example/"] = `<head></head>`
+
+	rt := &recordingRuntime{}
+	b := New(env, rt, DefaultOptions())
+
+	// Fresh-page reference visit.
+	var ref *VisitResult
+	refPage := b.Visit("https://www.pub.example/", func(p *Page, res *VisitResult) { ref = res })
+	env.sched.Run()
+	refPage.Close()
+
+	// The same two visits on one pooled page.
+	pooled := NewPage(env, b.Opts)
+	var vr1 *VisitResult
+	b.VisitPage(pooled, "https://www.other.example/", func(p *Page, res *VisitResult) { vr1 = res })
+	env.sched.Run()
+	if vr1 == nil || !vr1.Loaded || len(pooled.Inspector.Exchanges()) != 1 {
+		t.Fatalf("first pooled visit: %+v, exchanges=%d", vr1, len(pooled.Inspector.Exchanges()))
+	}
+	pooled.Close()
+
+	var vr2 *VisitResult
+	again := b.VisitPage(pooled, "https://www.pub.example/", func(p *Page, res *VisitResult) { vr2 = res })
+	env.sched.Run()
+	if again != pooled {
+		t.Fatal("VisitPage did not reuse the supplied page")
+	}
+	if pooled.Closed() {
+		t.Fatal("rebound page still closed")
+	}
+	if vr2 == nil || vr2.Loaded != ref.Loaded || vr2.Scripts != ref.Scripts || vr2.DocLatency != ref.DocLatency {
+		t.Fatalf("reused-page visit %+v != fresh visit %+v", vr2, ref)
+	}
+	if got, want := len(pooled.Inspector.Exchanges()), len(refPage.Inspector.Exchanges()); got != want {
+		t.Fatalf("exchanges = %d, want %d", got, want)
+	}
+}

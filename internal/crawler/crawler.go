@@ -292,13 +292,24 @@ func CrawlWorld(w *sitegen.World, opts Options) []*dataset.SiteRecord {
 }
 
 // visitRuntime is the pooled per-worker simulation substrate: one
-// scheduler and one network, reset to a pristine, seeded state before
-// every visit. Pooling never crosses goroutines, and a reset runtime is
-// observationally identical to a fresh one.
+// scheduler, one network, one page (with its bus and inspector), one
+// script runtime, and one world binding — all reset to a pristine,
+// seeded state before every visit. Pooling never crosses goroutines,
+// and a reset runtime is observationally identical to a fresh one (the
+// byte-identical-JSONL determinism suite is the standing proof).
 type visitRuntime struct {
 	sched *clock.Scheduler
 	net   *simnet.Network
 	env   *simnet.Env
+
+	// Lazily created on the first visit (they need the world/options),
+	// then rebound every visit. Reset order matters: the scheduler is
+	// reset first, which drops any callback still referencing the page,
+	// so rebinding the page afterwards can never race a stale delivery.
+	page    *browser.Page
+	rt      *pagert.Runtime
+	browser *browser.Browser
+	binding sitegen.VisitBinding
 }
 
 func newVisitRuntime() *visitRuntime {
@@ -325,11 +336,16 @@ func (vrt *visitRuntime) visit(w *sitegen.World, s *sitegen.Site, day int, opts 
 	if ov := opts.Overlay; ov != nil && ov.Network != nil {
 		net.SetRTT(ov.Network.BaseRTT, ov.Network.Jitter)
 	}
-	w.InstallSimnetFor(net, s)
+	w.InstallVisit(net, s, &vrt.binding)
 
 	env := vrt.env
-	rt := pagert.New(w.Registry)
+	if vrt.rt == nil {
+		vrt.rt = pagert.New(w.Registry)
+	}
+	rt := vrt.rt
+	rt.Registry = w.Registry
 	rt.Overlay = opts.Overlay
+	rt.LastActivity = nil
 	bopts := browser.DefaultOptions()
 	bopts.NoEventHistory = true // the detector consumes events live
 	if opts.PageTimeout > 0 {
@@ -338,13 +354,19 @@ func (vrt *visitRuntime) visit(w *sitegen.World, s *sitegen.Site, day int, opts 
 	if opts.NoQueueing {
 		bopts.HandlerCost = 0
 	}
-	b := browser.New(env, rt, bopts)
+	if vrt.browser == nil {
+		vrt.browser = browser.New(env, rt, bopts)
+	}
+	b := vrt.browser
+	b.Env, b.Runtime, b.Opts = env, rt, bopts
+	if vrt.page == nil {
+		vrt.page = browser.NewPage(env, bopts)
+	}
 
-	var page *browser.Page
 	var det *core.Detector
 	var visit *browser.VisitResult
 
-	page = b.Visit(s.PageURL(), func(p *browser.Page, vr *browser.VisitResult) {
+	page := b.VisitPage(vrt.page, s.PageURL(), func(p *browser.Page, vr *browser.VisitResult) {
 		visit = vr
 	})
 	dopts := core.FullOptions()

@@ -318,7 +318,21 @@ func (a *SummaryAccumulator) Add(r *SiteRecord) {
 // Merge folds another accumulator's state into a. Because every counter
 // is derived from sets (or is a plain sum), merging per-worker shards in
 // any order yields the same Summary as a single in-order accumulation.
+// The argument is consumed — it must not be added to or merged again
+// afterwards — which lets a still-empty receiver adopt the shard's sets
+// wholesale instead of re-inserting every domain and partner.
 func (a *SummaryAccumulator) Merge(o *SummaryAccumulator) {
+	if len(a.siteSeen) == 0 && len(a.hbSeen) == 0 && len(a.partnerSet) == 0 {
+		a.siteSeen, a.hbSeen, a.partnerSet = o.siteSeen, o.hbSeen, o.partnerSet
+		a.s.SitesCrawled += o.s.SitesCrawled
+		a.s.SitesWithHB += o.s.SitesWithHB
+		a.s.Auctions += o.s.Auctions
+		a.s.Bids += o.s.Bids
+		if o.maxDay > a.maxDay {
+			a.maxDay = o.maxDay
+		}
+		return
+	}
 	for d := range o.siteSeen {
 		if !a.siteSeen[d] {
 			a.siteSeen[d] = true

@@ -95,6 +95,11 @@ type Bus struct {
 	wildcards []Listener
 	history   []Event
 	keepAll   bool
+	// gen is bumped by Reset. Cancel funcs capture the generation they
+	// were issued under and become no-ops after a Reset, so a stale
+	// cancel from a previous page cannot nil a listener slot the current
+	// page has re-used.
+	gen uint64
 }
 
 // NewBus returns an empty bus that also records event history (used by
@@ -118,14 +123,46 @@ func (b *Bus) Subscribe(t Type, fn Listener) (cancel func()) {
 	}
 	b.byType[t] = append(b.byType[t], fn)
 	idx := len(b.byType[t]) - 1
-	return func() { b.byType[t][idx] = nil }
+	gen := b.gen
+	return func() {
+		if b.gen == gen {
+			b.byType[t][idx] = nil
+		}
+	}
 }
 
 // SubscribeAll registers fn for every event type.
 func (b *Bus) SubscribeAll(fn Listener) (cancel func()) {
 	b.wildcards = append(b.wildcards, fn)
 	idx := len(b.wildcards) - 1
-	return func() { b.wildcards[idx] = nil }
+	gen := b.gen
+	return func() {
+		if b.gen == gen {
+			b.wildcards[idx] = nil
+		}
+	}
+}
+
+// Reset returns the bus to the state NewBus (keepAll=true) or
+// NewBusNoHistory (keepAll=false) would produce, reusing the listener
+// tables' and history's storage. Pages pooled across crawl visits reset
+// their bus instead of allocating a new one; outstanding cancel funcs
+// from before the reset become no-ops.
+func (b *Bus) Reset(keepAll bool) {
+	b.gen++
+	for t, ls := range b.byType {
+		clear(ls)
+		b.byType[t] = ls[:0]
+	}
+	clear(b.wildcards)
+	b.wildcards = b.wildcards[:0]
+	b.keepAll = keepAll
+	if keepAll {
+		clear(b.history)
+		b.history = b.history[:0]
+	} else {
+		b.history = nil
+	}
 }
 
 // Emit delivers e to listeners in deterministic (registration) order and

@@ -136,3 +136,43 @@ func TestListenerModificationDuringEmit(t *testing.T) {
 		t.Fatalf("second emit did not reach new listener: n=%d", n)
 	}
 }
+
+func TestBusReset(t *testing.T) {
+	b := NewBus()
+	n := 0
+	cancelOld := b.Subscribe(AuctionInit, func(Event) { n++ })
+	b.SubscribeAll(func(Event) { n += 100 })
+	b.Emit(Event{Type: AuctionInit})
+	if n != 101 {
+		t.Fatalf("pre-reset n = %d", n)
+	}
+
+	b.Reset(true)
+	if len(b.History()) != 0 {
+		t.Fatalf("history survived reset: %d events", len(b.History()))
+	}
+	n = 0
+	b.Emit(Event{Type: AuctionInit})
+	if n != 0 {
+		t.Fatalf("old listeners survived reset: n = %d", n)
+	}
+
+	// A cancel issued before the reset must not nil a listener slot the
+	// reset bus has re-used.
+	b.Subscribe(AuctionInit, func(Event) { n++ })
+	cancelOld()
+	b.Emit(Event{Type: AuctionInit})
+	if n != 1 {
+		t.Fatalf("stale cancel killed new listener: n = %d", n)
+	}
+	if len(b.History()) != 2 {
+		t.Fatalf("history after reset = %d, want 2", len(b.History()))
+	}
+
+	// Reset to the no-history policy stops recording.
+	b.Reset(false)
+	b.Emit(Event{Type: AuctionEnd})
+	if b.History() != nil {
+		t.Fatalf("no-history bus recorded %d events", len(b.History()))
+	}
+}

@@ -63,6 +63,20 @@ func (f Facet) Short() string {
 
 // ParseFacet inverts Short; unknown strings map to FacetUnknown.
 func ParseFacet(s string) Facet {
+	// Exact-match fast path for the canonical spellings Short emits:
+	// the metrics fold parses a record's facet in several Add methods
+	// per visit, and crawl records only ever carry these strings, so
+	// the normalizing path below is cold in practice.
+	switch s {
+	case "client":
+		return FacetClient
+	case "server":
+		return FacetServer
+	case "hybrid":
+		return FacetHybrid
+	case "":
+		return FacetUnknown
+	}
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "client", "client-side", "client-side hb":
 		return FacetClient
@@ -112,6 +126,15 @@ func (s Size) IsZero() bool { return s.W == 0 && s.H == 0 }
 // ParseSize parses "300x250" (also tolerating "300X250" and surrounding
 // spaces). It returns an error for anything else.
 func ParseSize(str string) (Size, error) {
+	// One-pass fast path for the canonical "300x250" spelling (digits,
+	// one lower-case 'x', digits) — what the generator emits and what
+	// the size-keyed metrics re-parse for every auction and bid of a
+	// fold. Anything else (whitespace, 'X', signs, overflow) falls
+	// through to the tolerant path, which accepts a superset and agrees
+	// with the fast path wherever both succeed.
+	if sz, ok := fastSize(str); ok {
+		return sz, nil
+	}
 	t := strings.TrimSpace(str)
 	// Zero-alloc split on the single 'x'/'X' separator; ToLower would
 	// allocate for the "300X250" spelling and Split always does.
@@ -131,6 +154,41 @@ func ParseSize(str string) (Size, error) {
 		return Size{}, fmt.Errorf("hb: non-positive size %q", str) //hbvet:allow hotalloc cold error path
 	}
 	return Size{W: w, H: h}, nil
+}
+
+// fastSize parses the canonical "WxH" spelling without trimming,
+// scanning twice, or building errors. ok=false means "not canonical",
+// never "malformed" — the caller's tolerant path owns that verdict.
+func fastSize(s string) (Size, bool) {
+	w, i := 0, 0
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		w = w*10 + int(c-'0')
+		if w > 1<<24 {
+			return Size{}, false
+		}
+	}
+	if i == 0 || i >= len(s)-1 || s[i] != 'x' {
+		return Size{}, false
+	}
+	h := 0
+	for j := i + 1; j < len(s); j++ {
+		c := s[j]
+		if c < '0' || c > '9' {
+			return Size{}, false
+		}
+		h = h*10 + int(c-'0')
+		if h > 1<<24 {
+			return Size{}, false
+		}
+	}
+	if w <= 0 || h <= 0 {
+		return Size{}, false
+	}
+	return Size{W: w, H: h}, true
 }
 
 // Common IAB slot sizes observed in the study (Figure 21).

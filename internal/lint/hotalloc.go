@@ -22,11 +22,17 @@ import (
 //     variables allocates on every iteration. Hoist it, use the
 //     closure-free scheduler capabilities (clock.AtCall/AfterCall), or
 //     annotate the one-time setup loops.
+//   - no encoding/json Marshal/Unmarshal: reflection-based encoding of
+//     the fixed OpenRTB shapes costs dozens of allocations per bid
+//     exchange. The hand-rolled codec in internal/rtb is byte-identical
+//     to encoding/json for these shapes; the sanctioned fallbacks (the
+//     codec's own escape hatches for foreign bodies) carry
+//     //hbvet:allow hotalloc annotations.
 var Hotalloc = &Analyzer{
 	Name: "hotalloc",
-	Doc: "forbid fmt formatting calls and per-iteration capturing " +
-		"closures in the hot-path packages covered by the allocs/visit " +
-		"bench gate",
+	Doc: "forbid fmt formatting calls, per-iteration capturing closures, " +
+		"and encoding/json marshalling in the hot-path packages covered " +
+		"by the allocs/visit bench gate",
 	Applies: func(pkgPath string) bool { return hotPathPackages[pkgPath] },
 	Run:     runHotalloc,
 }
@@ -55,14 +61,32 @@ var fmtFormatFuncs = map[string]bool{
 	"Appendf": true,
 }
 
+// jsonCodecFuncs are the reflection-based encoding/json entry points
+// banned on the hot path (the rtb codec replaces them for the OpenRTB
+// shapes).
+var jsonCodecFuncs = map[string]bool{
+	"Marshal":       true,
+	"MarshalIndent": true,
+	"Unmarshal":     true,
+}
+
 func runHotalloc(pass *Pass) error {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			if sel, ok := n.(*ast.SelectorExpr); ok {
-				if pkgFuncUse(pass.Info, sel.Sel) == "fmt" && fmtFormatFuncs[sel.Sel.Name] {
-					pass.Reportf(sel.Pos(),
-						"fmt.%s on the hot path allocates via reflection: use strconv builders (or annotate a genuinely cold path)",
-						sel.Sel.Name)
+				switch pkgFuncUse(pass.Info, sel.Sel) {
+				case "fmt":
+					if fmtFormatFuncs[sel.Sel.Name] {
+						pass.Reportf(sel.Pos(),
+							"fmt.%s on the hot path allocates via reflection: use strconv builders (or annotate a genuinely cold path)",
+							sel.Sel.Name)
+					}
+				case "encoding/json":
+					if jsonCodecFuncs[sel.Sel.Name] {
+						pass.Reportf(sel.Pos(),
+							"json.%s on the hot path reflects over the value: use the rtb codec (or annotate a sanctioned fallback)",
+							sel.Sel.Name)
+					}
 				}
 			}
 			return true

@@ -1,8 +1,10 @@
 // Package hotalloc exercises the hot-path allocation analyzer: fmt
-// formatting calls and per-iteration capturing closures.
+// formatting calls, per-iteration capturing closures, and
+// encoding/json marshalling.
 package hotalloc
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 )
@@ -57,4 +59,31 @@ func allowedSetupLoop(hosts []string, handle func(string, func() string)) {
 		//hbvet:allow hotalloc testdata: one-time setup loop stays suppressed
 		handle(h, func() string { return h })
 	}
+}
+
+type shape struct {
+	ID string `json:"id"`
+}
+
+func reflectEncode(s shape) []byte {
+	b, _ := json.Marshal(s) // want hotalloc "json.Marshal on the hot path"
+	return b
+}
+
+func reflectDecode(b []byte) shape {
+	var s shape
+	_ = json.Unmarshal(b, &s) // want hotalloc "json.Unmarshal on the hot path"
+	return s
+}
+
+func allowedFallbackDecode(b []byte) shape {
+	var s shape
+	//hbvet:allow hotalloc testdata: sanctioned codec fallback stays suppressed
+	_ = json.Unmarshal(b, &s)
+	return s
+}
+
+func validOnly(b []byte) bool {
+	// json.Valid does not reflect; only Marshal/Unmarshal are banned.
+	return json.Valid(b)
 }

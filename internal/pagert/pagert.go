@@ -55,7 +55,7 @@ type PageConfig struct {
 // InlineScript renders the config as the inline <script> body sitegen
 // embeds in generated pages.
 func (c *PageConfig) InlineScript() (string, error) {
-	blob, err := json.Marshal(c)
+	blob, err := json.Marshal(c) //hbvet:allow hotalloc config render runs at world-generation time, once per site, not per visit
 	if err != nil {
 		return "", fmt.Errorf("pagert: encode config: %w", err) //hbvet:allow hotalloc cold error path: Marshal of these types cannot fail
 	}
@@ -117,6 +117,7 @@ func parseInlineConfig(inline string) (*PageConfig, error) {
 		return nil, fmt.Errorf("pagert: malformed inline config") //hbvet:allow hotalloc cold error path, and parse outcomes are memoized in configCache
 	}
 	var cfg PageConfig
+	//hbvet:allow hotalloc config parse is memoized in configCache: once per distinct page, not per visit
 	if err := json.Unmarshal([]byte(inline[start:end+1]), &cfg); err != nil {
 		return nil, fmt.Errorf("pagert: parse inline config: %w", err) //hbvet:allow hotalloc cold error path behind the memoizing configCache
 	}

@@ -281,7 +281,7 @@ func (w *Wrapper) sendBidRequest(round *roundState, bidder string, timeout time.
 		TMax: int(timeout / time.Millisecond),
 		Ext:  prebidExt(bidder),
 	}
-	body, err := req.Encode()
+	body, err := req.EncodeString()
 	if err != nil {
 		delete(round.pending, bidder)
 		return
@@ -303,7 +303,7 @@ func (w *Wrapper) sendBidRequest(round *roundState, bidder string, timeout time.
 		URL:    profile.BidRequestURL(),
 		Method: webreq.POST,
 		Kind:   webreq.KindXHR,
-		Body:   string(body),
+		Body:   body,
 		Sent:   now,
 	}
 	httpReq.PrefillParams(profile.BidRequestParams())
@@ -336,7 +336,7 @@ func (w *Wrapper) onBidResponse(round *roundState, idx int, bidder string, units
 		w.maybeEarlyFinalize(round)
 		return
 	}
-	parsed, err := rtb.DecodeBidResponse([]byte(resp.Body))
+	parsed, err := rtb.DecodeBidResponse(resp.Body)
 	if err != nil {
 		br.Error = err.Error()
 		w.maybeEarlyFinalize(round)

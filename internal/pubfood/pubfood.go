@@ -9,7 +9,6 @@
 package pubfood
 
 import (
-	"encoding/json"
 	"strconv"
 	"strings"
 	"time"
@@ -198,7 +197,7 @@ func (l *Library) sendBid(prof *partners.Profile, bySlot map[string]*SlotResult,
 		Site: rtb.Site{Domain: l.cfg.Site},
 		TMax: int(l.cfg.Timeout() / time.Millisecond),
 	}
-	body, err := json.Marshal(&breq)
+	body, err := breq.EncodeString()
 	if err != nil {
 		*pending--
 		onDone(prof.Slug)
@@ -209,7 +208,7 @@ func (l *Library) sendBid(prof *partners.Profile, bySlot map[string]*SlotResult,
 		URL:    urlkit.WithParams(prof.BidEndpoint(), bidParams),
 		Method: webreq.POST,
 		Kind:   webreq.KindXHR,
-		Body:   string(body),
+		Body:   body,
 		Sent:   now,
 	}
 	req.PrefillParams(bidParams)
@@ -220,7 +219,7 @@ func (l *Library) sendBid(prof *partners.Profile, bySlot map[string]*SlotResult,
 		if !resp.OK() {
 			return
 		}
-		parsed, err := rtb.DecodeBidResponse([]byte(resp.Body))
+		parsed, err := rtb.DecodeBidResponse(resp.Body)
 		if err != nil {
 			return
 		}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package rtb
+
+// raceEnabled mirrors the -race flag; see race_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package rtb
+
+// raceEnabled mirrors the -race flag for tests that assert strict
+// allocation bounds: race instrumentation makes sync.Pool drop items on
+// purpose, so pooled paths legitimately allocate more under it.
+const raceEnabled = true

@@ -96,17 +96,20 @@ type BidResponse struct {
 	NBR      int       `json:"nbr,omitempty"` // no-bid reason
 }
 
-// Encode marshals a request to JSON; it never fails for the types above
-// but the error is surfaced for API honesty.
-func (r *BidRequest) Encode() ([]byte, error) { return json.Marshal(r) }
+// Encode marshals a request to JSON via the hand-rolled codec
+// (codec.go); the bytes are identical to json.Marshal's. It never fails
+// for the types above but the error is surfaced for API honesty.
+func (r *BidRequest) Encode() ([]byte, error) { return r.AppendJSON(nil) }
 
-// DecodeBidResponse parses a partner response body.
-func DecodeBidResponse(body []byte) (*BidResponse, error) {
-	var resp BidResponse
-	if err := json.Unmarshal(body, &resp); err != nil {
+// DecodeBidResponse parses a partner response body. It takes the body
+// as a string because that is how webreq carries it — the codec decodes
+// substrings in place, so no []byte round-trip copy is needed.
+func DecodeBidResponse(body string) (*BidResponse, error) {
+	resp := new(BidResponse)
+	if err := UnmarshalBidResponse(body, resp); err != nil {
 		return nil, fmt.Errorf("rtb: malformed bid response: %w", err) //hbvet:allow hotalloc cold error path: simulated partners emit well-formed JSON
 	}
-	return &resp, nil
+	return resp, nil
 }
 
 // DSP is one demand-side platform participating in a partner's internal

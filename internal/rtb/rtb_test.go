@@ -41,7 +41,7 @@ func TestBidRequestEncodeDecode(t *testing.T) {
 
 func TestDecodeBidResponse(t *testing.T) {
 	body := `{"id":"req-1","cur":"USD","seatbid":[{"seat":"appnexus","bid":[{"impid":"slot-1","price":0.42,"w":300,"h":250,"crid":"cr-9"}]}]}`
-	resp, err := DecodeBidResponse([]byte(body))
+	resp, err := DecodeBidResponse(body)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestDecodeBidResponse(t *testing.T) {
 
 func TestDecodeBidResponseMalformed(t *testing.T) {
 	for _, bad := range []string{"", "{", "[1,2]", "<html>error</html>"} {
-		if _, err := DecodeBidResponse([]byte(bad)); err == nil {
+		if _, err := DecodeBidResponse(bad); err == nil {
 			t.Errorf("DecodeBidResponse(%q) should fail", bad)
 		}
 	}

@@ -70,7 +70,7 @@ func TestHandleBidReturnsValidResponse(t *testing.T) {
 		if service <= 0 {
 			t.Fatal("no service time")
 		}
-		resp, err := rtb.DecodeBidResponse([]byte(body))
+		resp, err := rtb.DecodeBidResponse(body)
 		if err != nil {
 			t.Fatalf("malformed response: %v", err)
 		}
@@ -319,4 +319,63 @@ func TestWinAndPixelBeacons(t *testing.T) {
 	if status2 != 204 {
 		t.Fatalf("pixel status = %d", status2)
 	}
+}
+
+func benchBidRequest(site *Site) *webreq.Request {
+	imps := make([]rtb.Impression, 0, len(site.AdUnits))
+	for _, u := range site.AdUnits {
+		imps = append(imps, rtb.Impression{
+			ID:     u.Code,
+			Banner: rtb.Banner{Format: []rtb.Format{{W: u.PrimarySize().W, H: u.PrimarySize().H}}},
+		})
+	}
+	breq := rtb.BidRequest{ID: "b1", Imp: imps, Site: rtb.Site{Domain: site.Domain}, TMax: 3000}
+	body, err := breq.EncodeString()
+	if err != nil {
+		panic(err)
+	}
+	return &webreq.Request{URL: "https://bid.adnxs.com/hb/v1/bid", Method: webreq.POST, Body: body}
+}
+
+// BenchmarkHandlePartnerBid measures the client-side bid endpoint, the
+// hottest Ecosystem handler: decode, internal auction, price, encode.
+func BenchmarkHandlePartnerBid(b *testing.B) {
+	cfg := DefaultConfig(17)
+	cfg.NumSites = 400
+	w := Generate(cfg)
+	eco := NewEcosystem(w)
+	site := firstSiteWithFacet(w, hb.FacetHybrid)
+	p, _ := w.Registry.BySlug("appnexus")
+	req := benchBidRequest(site)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		status, _, _ := eco.HandlePartner(p, req)
+		if status != 200 {
+			b.Fatalf("status %d", status)
+		}
+	}
+}
+
+// BenchmarkHandlePartnerBidParallel exposes contention on the ecosystem
+// mutex: livenet serves one shared Ecosystem from many goroutines, so
+// work done while holding e.mu serializes the whole server.
+func BenchmarkHandlePartnerBidParallel(b *testing.B) {
+	cfg := DefaultConfig(17)
+	cfg.NumSites = 400
+	w := Generate(cfg)
+	eco := NewEcosystem(w)
+	site := firstSiteWithFacet(w, hb.FacetHybrid)
+	p, _ := w.Registry.BySlug("appnexus")
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		req := benchBidRequest(site)
+		for pb.Next() {
+			status, _, _ := eco.HandlePartner(p, req)
+			if status != 200 {
+				b.Fatalf("status %d", status)
+			}
+		}
+	})
 }

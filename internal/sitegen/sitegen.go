@@ -147,10 +147,10 @@ type World struct {
 
 	byDomain map[string]*Site
 
-	// shared is the precomputed host→handler dispatch every visit binds
-	// its ecosystem to (see sharedHandlers in handlers.go).
+	// shared is the precomputed host→target dispatch table every visit
+	// binds its ecosystem to (see sharedTargets in handlers.go).
 	sharedOnce sync.Once
-	shared     map[string]sharedHandler
+	shared     map[string]sharedTarget
 
 	// exchanges caches each partner's internal RTB exchange. An exchange
 	// is a pure function of (world seed, partner profile) and is

@@ -191,6 +191,26 @@ func NewInspector() *Inspector {
 	return &Inspector{}
 }
 
+// Reset returns the inspector to the state NewInspector would produce,
+// reusing the hook and exchange storage. Pages pooled across crawl
+// visits reset their inspector instead of allocating a new one. hookSeq
+// is intentionally NOT reset: cancel funcs match hooks by id, so keeping
+// ids monotonic across resets makes a stale cancel from a previous page
+// a no-op instead of un-registering a current hook. order reverts to nil
+// (not length zero) to restore the dense "slice index IS the recording
+// order" invariant.
+func (in *Inspector) Reset() {
+	in.nextID = 0
+	clear(in.reqHooks)
+	in.reqHooks = in.reqHooks[:0]
+	clear(in.respHooks)
+	in.respHooks = in.respHooks[:0]
+	clear(in.exchanges)
+	in.exchanges = in.exchanges[:0]
+	clear(in.overflow)
+	in.order = nil
+}
+
 // OnRequest registers a request hook and returns a cancel func. Cancel
 // nils the entry rather than splicing, so cancelling from inside a hook
 // during dispatch cannot skip or re-run sibling hooks.

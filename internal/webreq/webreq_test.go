@@ -144,3 +144,52 @@ func TestExchangeString(t *testing.T) {
 		t.Fatal("empty string for error exchange")
 	}
 }
+
+func TestInspectorReset(t *testing.T) {
+	in := NewInspector()
+	n := 0
+	cancelOld := in.OnRequest(func(*Request) { n++ })
+	in.OnResponse(func(*Request, *Response) { n += 100 })
+	r := &Request{URL: "https://a.example/x"}
+	r.ID = in.NextID()
+	in.SawRequest(r)
+	in.SawResponse(&Response{RequestID: r.ID, Status: 200})
+	if n != 101 || len(in.Exchanges()) != 1 {
+		t.Fatalf("pre-reset n=%d exchanges=%d", n, len(in.Exchanges()))
+	}
+	// Force the overflow/order slow path so Reset must restore the dense
+	// invariant too.
+	in.SawRequest(&Request{ID: 99, URL: "https://oob.example/"})
+	if len(in.Exchanges()) != 2 {
+		t.Fatalf("overflow recording failed")
+	}
+
+	in.Reset()
+	if len(in.Exchanges()) != 0 || in.Pending() != 0 {
+		t.Fatalf("exchanges survived reset")
+	}
+	n = 0
+	r2 := &Request{URL: "https://b.example/y"}
+	r2.ID = in.NextID()
+	if r2.ID != 1 {
+		t.Fatalf("NextID after reset = %d, want 1", r2.ID)
+	}
+	in.SawRequest(r2)
+	if n != 0 {
+		t.Fatalf("old hooks survived reset: n = %d", n)
+	}
+
+	// A cancel issued before the reset must not unregister a hook the
+	// reset inspector registered afterwards.
+	in.OnRequest(func(*Request) { n++ })
+	cancelOld()
+	r3 := &Request{URL: "https://c.example/z"}
+	r3.ID = in.NextID()
+	in.SawRequest(r3)
+	if n != 1 {
+		t.Fatalf("stale cancel killed new hook: n = %d", n)
+	}
+	if got := len(in.Exchanges()); got != 2 {
+		t.Fatalf("exchanges after reset = %d, want 2", got)
+	}
+}
