@@ -19,7 +19,7 @@ SWEEP_VARIANT_PCT ?= 95
 # deliberately, in its own commit.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test race vet lint lint-tools bench bench-smoke bench-gate bench-all benchstat baseline profile sweep fuzz-smoke
+.PHONY: build test race vet lint lint-tools bench bench-smoke bench-gate bench-all benchstat baseline profile sweep chaos-smoke fuzz-smoke
 
 # Per-target budget for the CI fuzz smoke over the rtb codec's decoder
 # fuzz targets (go test -fuzz accepts exactly one target per run).
@@ -39,7 +39,7 @@ vet:
 
 # The static-analysis gate, identical for CI and developers: go vet,
 # then hbvet (the repo's own analyzers — determinism wall, hot-path
-# allocations, metric laws, ctx hygiene) over every package in the
+# allocations, metric laws, ctx hygiene, recover scope) over every package in the
 # module, cmd/ and examples/ included, then staticcheck when installed
 # (CI pins it through lint-tools; a bare container still gets vet+hbvet,
 # which need nothing beyond the Go toolchain).
@@ -70,7 +70,9 @@ bench-smoke:
 # metrics-attached-crawl overhead (full figure report must cost <=
 # METRICS_OVERHEAD_PCT of bare-crawl sites/sec) and the sweep
 # world-reuse ratio (variant marginal cost <= SWEEP_VARIANT_PCT of a
-# fresh run).
+# fresh run). The benchmark crawls fault-free with the fault hooks and
+# the panic quarantine compiled in, so this gate also asserts chaos
+# support costs the clean hot path nothing.
 bench-gate:
 	MAX_ALLOCS=$(ALLOCS_CEILING) MAX_METRICS_OVERHEAD_PCT=$(METRICS_OVERHEAD_PCT) \
 		MAX_SWEEP_VARIANT_PCT=$(SWEEP_VARIANT_PCT) sh scripts/bench_gate.sh
@@ -88,6 +90,16 @@ fuzz-smoke:
 # over one shared world, comparison rendered to stdout.
 sweep:
 	$(GO) run ./cmd/hbsweep -sites 600 -timeouts 500,3000,10000 -partners 1,5 -profiles fiber,3g -q
+
+# Chaos smoke (DESIGN.md §2.3): a tiny fault-ladder + chaos-shape sweep,
+# then the determinism and degradation proofs — fault-variant bytes are
+# worker-count-invariant, the zero-fault baseline matches a plain crawl,
+# pooled networks replay fault streams exactly, and in-visit panics
+# quarantine instead of killing workers.
+chaos-smoke:
+	$(GO) run ./cmd/hbsweep -sites 400 -timeouts '' -partners '' -profiles '' -faults 0.2 -chaos -q
+	$(GO) test -run 'Chaos|Quarantine|FaultSweep|FaultStream|CorruptBid' \
+		./internal/simnet ./internal/crawler ./internal/scenario
 
 # Every paper-figure benchmark.
 bench-all:

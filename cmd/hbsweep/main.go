@@ -11,6 +11,8 @@
 //	hbsweep -sites 5000 -seed 1                      # timeout+partners+network axes
 //	hbsweep -sites 5000 -timeouts 500,1000,3000,10000 -partners '' -profiles ''
 //	hbsweep -sites 2000 -sync -o sweep-out           # adds sync axis, JSONL per variant
+//	hbsweep -sites 2000 -timeouts '' -partners '' -profiles '' -faults default -chaos
+//	                                                 # failure-rate ladder + chaos shapes
 package main
 
 import (
@@ -40,6 +42,9 @@ func main() {
 		profiles = flag.String("profiles", "default", "network axis: comma-separated profile names (fiber,cable,4g,3g), 'default', or '' to skip")
 		sync     = flag.Bool("sync", false, "add the cookie-sync ablation axis")
 		wrapper  = flag.Bool("fix-wrappers", false, "add the repaired-wrapper axis")
+		faults   = flag.String("faults", "", "fault axis: comma-separated transport failure rates (0..1, e.g. 0.05,0.2), 'default' for the built-in ladder, '' to skip")
+		faultFor = flag.String("fault-partner", "", "restrict the fault axis to one partner slug ('' = ecosystem-wide)")
+		chaos    = flag.Bool("chaos", false, "add the chaos axis: outage, flapping, slow-loris, mid-body resets, truncated/garbled bodies, error ramp")
 		out      = flag.String("o", "", "directory for per-variant JSONL datasets (empty = no datasets)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
@@ -74,6 +79,16 @@ func main() {
 	}
 	if *wrapper {
 		axes = append(axes, headerbid.WrapperAxis())
+	}
+	if rates, on := floatLevels(*faults); on {
+		if *faultFor != "" {
+			axes = append(axes, headerbid.PartnerFaultAxis(*faultFor, rates...))
+		} else {
+			axes = append(axes, headerbid.FaultAxis(rates...))
+		}
+	}
+	if *chaos {
+		axes = append(axes, headerbid.ChaosAxis())
 	}
 	if len(axes) == 0 {
 		log.Fatal("every axis disabled; enable at least one")
@@ -149,6 +164,24 @@ func intLevels(s string) ([]int, bool) {
 			log.Fatalf("bad level %q: want a positive integer, 'default' or ''", f)
 		}
 		out = append(out, n)
+	}
+	return out, true
+}
+
+// floatLevels parses a comma-separated probability list with the same
+// default/disable conventions.
+func floatLevels(s string) ([]float64, bool) {
+	names, on := strLevels(s)
+	if !on {
+		return nil, false
+	}
+	out := make([]float64, 0, len(names))
+	for _, f := range names {
+		p, err := strconv.ParseFloat(f, 64)
+		if err != nil || p <= 0 || p > 1 {
+			log.Fatalf("bad rate %q: want a probability in (0,1], 'default' or ''", f)
+		}
+		out = append(out, p)
 	}
 	return out, true
 }

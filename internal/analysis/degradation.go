@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"sort"
+
+	"headerbid/internal/dataset"
+)
+
+// DegradationResult summarizes how a crawl degraded under failure: the
+// fault-injection counterpart of the paper's §6 loss analysis. All
+// fields are zero for a fault-free crawl.
+type DegradationResult struct {
+	Visits      int
+	Quarantined int // visits converted to quarantine records by panic isolation
+	Retries     int // wrapper retransmissions seen on the wire
+	Abandoned   int // bid requests never answered within the page's life
+	BidPosts    int // bid requests on the wire, retries included
+	BidErrors   int // transport-level bid failures
+	// PartnerErrors ranks partners by transport-failure count,
+	// descending (count ties break by slug).
+	PartnerErrors []PartnerErrorCount
+}
+
+// PartnerErrorCount is one partner's transport-failure tally.
+type PartnerErrorCount struct {
+	Slug   string
+	Errors int
+}
+
+// BidErrorRate is the transport-failure share of bid posts.
+func (r DegradationResult) BidErrorRate() float64 {
+	if r.BidPosts == 0 {
+		return 0
+	}
+	return float64(r.BidErrors) / float64(r.BidPosts)
+}
+
+// AbandonmentRate is the never-answered share of bid posts.
+func (r DegradationResult) AbandonmentRate() float64 {
+	if r.BidPosts == 0 {
+		return 0
+	}
+	return float64(r.Abandoned) / float64(r.BidPosts)
+}
+
+// DegradationMetric accumulates DegradationResult incrementally.
+type DegradationMetric struct {
+	res  DegradationResult
+	errs map[string]int // lazy: fault-free crawls never allocate it
+}
+
+// NewDegradation creates the accumulator.
+func NewDegradation() *DegradationMetric { return &DegradationMetric{} }
+
+// Name identifies the metric.
+func (m *DegradationMetric) Name() string { return "degradation" }
+
+// Add folds one record in.
+func (m *DegradationMetric) Add(r *dataset.SiteRecord) {
+	m.res.Visits++
+	if r.Quarantined {
+		m.res.Quarantined++
+	}
+	m.res.Retries += r.Retries
+	m.res.Abandoned += r.Abandoned
+	m.res.BidPosts += r.Traffic.BidRequests
+	for slug, n := range r.PartnerErrors {
+		m.res.BidErrors += n
+		if m.errs == nil {
+			m.errs = make(map[string]int, 4)
+		}
+		m.errs[slug] += n
+	}
+}
+
+// NewShard returns a fresh empty accumulator.
+func (m *DegradationMetric) NewShard() Metric { return NewDegradation() }
+
+// Merge folds a shard in.
+func (m *DegradationMetric) Merge(other Metric) {
+	o := mergeArg[*DegradationMetric](m, other)
+	m.res.Visits += o.res.Visits
+	m.res.Quarantined += o.res.Quarantined
+	m.res.Retries += o.res.Retries
+	m.res.Abandoned += o.res.Abandoned
+	m.res.BidPosts += o.res.BidPosts
+	m.res.BidErrors += o.res.BidErrors
+	for slug, n := range o.errs {
+		if m.errs == nil {
+			m.errs = make(map[string]int, len(o.errs))
+		}
+		m.errs[slug] += n
+	}
+}
+
+// Snapshot returns the DegradationResult.
+func (m *DegradationMetric) Snapshot() any { return m.Result() }
+
+// Result finalizes the summary (the partner ranking is sorted here, so
+// the result is independent of fold and merge order).
+func (m *DegradationMetric) Result() DegradationResult {
+	res := m.res
+	if len(m.errs) > 0 {
+		res.PartnerErrors = make([]PartnerErrorCount, 0, len(m.errs))
+		for slug, n := range m.errs {
+			res.PartnerErrors = append(res.PartnerErrors, PartnerErrorCount{Slug: slug, Errors: n})
+		}
+		sort.Slice(res.PartnerErrors, func(i, j int) bool {
+			a, b := res.PartnerErrors[i], res.PartnerErrors[j]
+			if a.Errors != b.Errors {
+				return a.Errors > b.Errors
+			}
+			return a.Slug < b.Slug
+		})
+	}
+	return res
+}
+
+// Degradation computes the degradation summary over a dataset.
+func Degradation(recs []*dataset.SiteRecord) DegradationResult {
+	return foldAll(NewDegradation(), recs).Result()
+}

@@ -85,6 +85,17 @@ func synthRecords(t *testing.T, seed int64) []*dataset.SiteRecord {
 			AdServer: 1 + rng.Intn(3), Creatives: rng.Intn(5),
 			Beacons: rng.Intn(4), Scripts: rng.Intn(6), Other: rng.Intn(5),
 		}
+		if rng.Float64() < 0.3 {
+			rec.PartnerErrors = map[string]int{}
+			for j := 1 + rng.Intn(3); j > 0; j-- {
+				rec.PartnerErrors[slugs[rng.Intn(len(slugs))]] += 1 + rng.Intn(3)
+			}
+			rec.Retries = rng.Intn(4)
+			rec.Abandoned = rng.Intn(3)
+		}
+		if rng.Float64() < 0.03 {
+			rec.Quarantined = true
+		}
 		return rec
 	}
 
@@ -160,6 +171,8 @@ func metricCases() []metricCase {
 			func(rs []*dataset.SiteRecord) any { return PriceVsPopularity(rs, reg, 10) }},
 		{"traffic", func() Metric { return NewTraffic(1.5) },
 			func(rs []*dataset.SiteRecord) any { return Traffic(rs, 1.5) }},
+		{"degradation", func() Metric { return NewDegradation() },
+			func(rs []*dataset.SiteRecord) any { return Degradation(rs) }},
 	}
 }
 

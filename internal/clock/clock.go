@@ -92,6 +92,7 @@ func NewScheduler(start time.Time) *Scheduler {
 // are dropped (their references cleared for the GC).
 func (s *Scheduler) Reset(start time.Time) {
 	if s.running {
+		//hbvet:allow recoverscope API-misuse precondition: resetting a running scheduler is a harness bug, not visit data
 		panic("clock: Reset called during Run")
 	}
 	if start.IsZero() {
@@ -191,6 +192,7 @@ func (s *Scheduler) schedule(t time.Time, fn func(), afn func(any), arg any) {
 // clamped to the present (the callback runs on the next Run step).
 func (s *Scheduler) At(t time.Time, fn func()) {
 	if fn == nil {
+		//hbvet:allow recoverscope API-misuse precondition: a nil callback is a caller bug, not visit data
 		panic("clock: At called with nil callback")
 	}
 	s.schedule(t, fn, nil, nil)
@@ -202,6 +204,7 @@ func (s *Scheduler) At(t time.Time, fn func()) {
 // caller passes a package-level func plus its receiver.
 func (s *Scheduler) AtCall(t time.Time, fn func(any), arg any) {
 	if fn == nil {
+		//hbvet:allow recoverscope API-misuse precondition: a nil callback is a caller bug, not visit data
 		panic("clock: AtCall called with nil callback")
 	}
 	s.schedule(t, nil, fn, arg)
@@ -264,6 +267,7 @@ func (ev *event) run() {
 // executed during this call.
 func (s *Scheduler) Run() int {
 	if s.running {
+		//hbvet:allow recoverscope API-misuse precondition: reentrant Run is a harness bug, not visit data
 		panic("clock: Run called reentrantly")
 	}
 	s.running = true
@@ -289,6 +293,7 @@ func (s *Scheduler) Run() int {
 // It returns the number of events executed.
 func (s *Scheduler) RunUntil(deadline time.Time) int {
 	if s.running {
+		//hbvet:allow recoverscope API-misuse precondition: reentrant RunUntil is a harness bug, not visit data
 		panic("clock: RunUntil called reentrantly")
 	}
 	s.running = true

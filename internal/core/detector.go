@@ -109,6 +109,15 @@ type Observation struct {
 	RequestCount int
 	RenderFails  int
 
+	// Degradation signals, all zero on a fault-free visit. PartnerErrors
+	// counts transport-level bid-exchange failures by partner slug;
+	// BidRetries counts bid requests tagged as wrapper retransmissions
+	// (retry= parameter); BidsAbandoned counts bid requests that never
+	// received any response — error included — within the page's life.
+	PartnerErrors map[string]int
+	BidRetries    int
+	BidsAbandoned int
+
 	// Traffic breaks the page's requests down by role — the raw material
 	// of the §7.3 network-overhead discussion (HB's broadcast fan-out
 	// roughly doubled the request volume ad infrastructure must absorb).
@@ -187,6 +196,9 @@ type Detector struct {
 	requestCount    int
 	hbParamSeen     bool
 	traffic         TrafficCounts
+	partnerErrs     map[string]int // lazy: transport failures only
+	bidResponses    int            // /hb/v1/bid responses seen, errors included
+	bidRetries      int            // bid requests carrying a retry= tag
 
 	// pageReg caches the page URL's registrable domain (pageRegURL is the
 	// URL it was computed for, so late-set page URLs still resolve).
@@ -414,8 +426,13 @@ func (d *Detector) onRequest(req *webreq.Request) {
 			d.hostedProvider = p.Slug
 			d.hostedSlots = parseSlotSpecs(params["slots"])
 		}
-		if strings.Contains(req.URL, "/hb/v1/bid") && d.bidReqFirst.IsZero() {
-			d.bidReqFirst = req.Sent
+		if strings.Contains(req.URL, "/hb/v1/bid") {
+			if d.bidReqFirst.IsZero() {
+				d.bidReqFirst = req.Sent
+			}
+			if params["retry"] != "" {
+				d.bidRetries++
+			}
 		}
 		if strings.Contains(req.URL, "/gampad/") {
 			d.adSrvIsPartner = true
@@ -440,6 +457,13 @@ func (d *Detector) onResponse(req *webreq.Request, resp *webreq.Response) {
 	if p, ok := d.registry.ByDomain(req.RegistrableHost()); ok {
 		switch {
 		case strings.Contains(req.URL, "/hb/v1/bid"):
+			d.bidResponses++
+			if resp.Err != "" {
+				if d.partnerErrs == nil {
+					d.partnerErrs = make(map[string]int, 2)
+				}
+				d.partnerErrs[p.Slug]++
+			}
 			if !resp.OK() {
 				break // failed exchanges carry no usable latency sample
 			}
@@ -616,6 +640,11 @@ func (d *Detector) Observation() *Observation {
 		RequestCount:       d.requestCount,
 		RenderFails:        d.renderFails,
 		Traffic:            d.traffic,
+		PartnerErrors:      d.partnerErrs,
+		BidRetries:         d.bidRetries,
+	}
+	if n := d.traffic.BidRequests - d.bidResponses; n > 0 {
+		o.BidsAbandoned = n
 	}
 	for lib := range d.libs {
 		o.Libraries = append(o.Libraries, lib)

@@ -24,6 +24,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
@@ -73,6 +75,12 @@ type Options struct {
 	// overlay) reproduces the uninstrumented crawl byte-for-byte — the
 	// contract the scenario engine's base variant relies on.
 	Overlay *overlay.Overlay
+	// VisitHook, when non-nil, runs at the start of every visit, after
+	// the per-visit network is installed but before the page is opened.
+	// It executes inside the crawler's panic-quarantine boundary; chaos
+	// tests use it to corrupt handlers or inject in-visit panics.
+	// Production crawls leave it nil.
+	VisitHook func(net *simnet.Network, s *sitegen.Site, day int)
 }
 
 // ResolvedWorkers is the worker count a crawl actually runs with
@@ -222,7 +230,7 @@ func streamDay(parent context.Context, w *sitegen.World, jobs []crawlJob, opts O
 			vrt := newVisitRuntime()
 			for idx := range jobCh {
 				j := jobs[idx]
-				rec := vrt.visit(w, j.site, j.day, opts)
+				rec := quarantineVisit(&vrt, w, j.site, j.day, opts)
 				if fold != nil {
 					fold(shard, rec)
 				}
@@ -337,6 +345,12 @@ func (vrt *visitRuntime) visit(w *sitegen.World, s *sitegen.Site, day int, opts 
 		net.SetRTT(ov.Network.BaseRTT, ov.Network.Jitter)
 	}
 	w.InstallVisit(net, s, &vrt.binding)
+	if ov := opts.Overlay; ov != nil && len(ov.Faults) > 0 {
+		installFaults(net, w, ov.Faults)
+	}
+	if opts.VisitHook != nil {
+		opts.VisitHook(net, s, day)
+	}
 
 	env := vrt.env
 	if vrt.rt == nil {
@@ -389,6 +403,100 @@ func (vrt *visitRuntime) visit(w *sitegen.World, s *sitegen.Site, day int, opts 
 	rec := dataset.FromObservation(obs, s.Rank, day, loaded, timedOut, errStr)
 	rec.Domain = s.Domain // authoritative (observation derives it from URL)
 	return rec
+}
+
+// installFaults translates the overlay's declarative fault rules into
+// fault modes on this visit's network. An empty or "*" target fans out
+// over every registry partner in deterministic registry order.
+func installFaults(net *simnet.Network, w *sitegen.World, faults []overlay.Fault) {
+	for i := range faults {
+		f := &faults[i]
+		fm := simnet.FaultMode{
+			FailProb:         f.FailProb,
+			Err:              f.Err,
+			ExtraLatency:     f.ExtraLatency,
+			SpikeProb:        f.SpikeProb,
+			SpikeLatency:     f.SpikeLatency,
+			SlowLorisProb:    f.SlowLorisProb,
+			SlowLorisStretch: f.SlowLorisStretch,
+			ResetMidBodyProb: f.ResetMidBodyProb,
+			TruncateProb:     f.TruncateProb,
+			GarbleProb:       f.GarbleProb,
+			OutageStart:      f.OutageStart,
+			OutageDuration:   f.OutageDuration,
+			FlapPeriod:       f.FlapPeriod,
+			RampPerSecond:    f.RampPerSecond,
+		}
+		if f.Partner == "" || f.Partner == "*" {
+			for _, p := range w.Registry.All() {
+				net.Fault(p.Host, fm)
+			}
+			continue
+		}
+		if p, ok := w.Registry.BySlug(f.Partner); ok {
+			net.Fault(p.Host, fm)
+		}
+	}
+}
+
+// quarantineVisit is the crawl's sanctioned panic boundary (the only
+// place hbvet's recoverscope rule permits recover()): a panic anywhere
+// inside a visit — page script, wrapper, detector — is converted into a
+// quarantined, labeled SiteRecord instead of killing the worker. The
+// pooled runtime is discarded and rebuilt, because a half-run visit can
+// leave the scheduler/page in an arbitrary state that a Reset is not
+// specified to recover from.
+func quarantineVisit(vrtp **visitRuntime, w *sitegen.World, s *sitegen.Site, day int, opts Options) (rec *dataset.SiteRecord) {
+	defer func() {
+		if r := recover(); r != nil {
+			*vrtp = newVisitRuntime()
+			rec = quarantineRecord(s, day, r, debug.Stack())
+		}
+	}()
+	return (*vrtp).visit(w, s, day, opts)
+}
+
+// quarantineRecord synthesizes the degraded record for a panicked
+// visit: no observation survives, but the crawl stays accountable for
+// the site — the record carries the day, the panic message, and a
+// stable label of the panicking function.
+func quarantineRecord(s *sitegen.Site, day int, cause any, stack []byte) *dataset.SiteRecord {
+	return &dataset.SiteRecord{
+		Domain:      s.Domain,
+		Rank:        s.Rank,
+		VisitDay:    day,
+		Quarantined: true,
+		PanicSite:   panicSite(stack),
+		Err:         "panic: " + fmt.Sprint(cause),
+	}
+}
+
+// panicSite extracts the function that panicked from a debug.Stack
+// capture taken inside the recovering deferred function: the first
+// frame after the panic() entry that is not runtime machinery. Only
+// the function name is kept (no file:line), so the label is stable
+// across build environments — determinism extends to panic records.
+func panicSite(stack []byte) string {
+	lines := strings.Split(string(stack), "\n")
+	for i := 0; i < len(lines); i++ {
+		if !strings.HasPrefix(lines[i], "panic(") {
+			continue
+		}
+		for j := i + 1; j < len(lines); j++ {
+			ln := lines[j]
+			if len(ln) == 0 || ln[0] == '\t' {
+				continue // file:line detail of the previous frame
+			}
+			if strings.HasPrefix(ln, "runtime.") || strings.HasPrefix(ln, "panic(") {
+				continue // runtime.panicmem / runtime.sigpanic / nested panic
+			}
+			if k := strings.LastIndexByte(ln, '('); k > 0 {
+				return ln[:k]
+			}
+			return ln
+		}
+	}
+	return ""
 }
 
 // visitSeed namespaces per-visit randomness so each (site, day) pair is an

@@ -61,6 +61,21 @@ type SiteRecord struct {
 	// Traffic breaks the visit's requests down by role (§7.3 overhead).
 	Traffic TrafficRecord `json:"traffic,omitempty"`
 
+	// Degradation labels (all zero on a fault-free visit, so the JSONL
+	// bytes of an unfaulted crawl are unchanged by their existence).
+	// PartnerErrors counts transport-level bid failures by partner slug;
+	// Retries counts wrapper retransmissions seen on the wire; Abandoned
+	// counts bid requests never answered within the page's life.
+	PartnerErrors map[string]int `json:"partner_errors,omitempty"`
+	Retries       int            `json:"retries,omitempty"`
+	Abandoned     int            `json:"abandoned,omitempty"`
+
+	// Quarantined marks a visit that panicked and was converted into
+	// this degraded record by the crawler's quarantine boundary;
+	// PanicSite labels the panicking function.
+	Quarantined bool   `json:"quarantined,omitempty"`
+	PanicSite   string `json:"panic_site,omitempty"`
+
 	Loaded   bool   `json:"loaded"`
 	TimedOut bool   `json:"timed_out,omitempty"`
 	Err      string `json:"err,omitempty"`
@@ -112,9 +127,12 @@ func FromObservation(o *core.Observation, rank, day int, loaded, timedOut bool, 
 			Scripts:     o.Traffic.Scripts,
 			Other:       o.Traffic.Other,
 		},
-		Loaded:   loaded,
-		TimedOut: timedOut,
-		Err:      errStr,
+		PartnerErrors: o.PartnerErrors,
+		Retries:       o.BidRetries,
+		Abandoned:     o.BidsAbandoned,
+		Loaded:        loaded,
+		TimedOut:      timedOut,
+		Err:           errStr,
 	}
 	if o.HB {
 		rec.Facet = o.Facet.Short()

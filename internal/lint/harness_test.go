@@ -27,6 +27,9 @@ func TestDetwallTestdata(t *testing.T)    { checkTestdata(t, Detwall, "detwall")
 func TestHotallocTestdata(t *testing.T)   { checkTestdata(t, Hotalloc, "hotalloc") }
 func TestMetriclawsTestdata(t *testing.T) { checkTestdata(t, Metriclaws, "metriclaws") }
 func TestSinkctxTestdata(t *testing.T)    { checkTestdata(t, Sinkctx, "sinkctx") }
+func TestRecoverscopeTestdata(t *testing.T) {
+	checkTestdata(t, Recoverscope, "recoverscope")
+}
 
 // expectation is one parsed `// want rule "substring"` pair.
 type expectation struct {

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Recoverscope polices the crawl's panic discipline, introduced with the
+// fault-injection subsystem: degradation must be explicit, never silent.
+//
+// Two rules:
+//
+//   - recover() may appear only inside the sanctioned visit-quarantine
+//     boundary (crawler.quarantineVisit). A recover anywhere else can
+//     swallow a panic before the quarantine machinery labels it, turning
+//     a loud failure into a silently wrong dataset. There is no allow
+//     escape for this rule outside the sanctioned site — widening the
+//     boundary is an API change, not an annotation.
+//   - panic() in the hot-path packages (the same nine the hotalloc
+//     ceiling covers — every one executes inside the quarantine
+//     boundary on each visit) requires an //hbvet:allow recoverscope
+//     annotation stating why dying is correct. Precondition panics on
+//     API misuse are fine; what the annotation forbids is unreviewed
+//     panics on data-dependent paths, which would surface as quarantine
+//     records instead of bugs.
+var Recoverscope = &Analyzer{
+	Name: "recoverscope",
+	Doc: "restrict recover() to the sanctioned visit-quarantine site and " +
+		"require //hbvet:allow justifications for panic() in hot-path packages",
+	Run: runRecoverscope,
+}
+
+// quarantinePkg/quarantineFunc name the one sanctioned recover() site:
+// the crawl worker's per-visit panic boundary.
+const (
+	quarantinePkg  = "headerbid/internal/crawler"
+	quarantineFunc = "quarantineVisit"
+)
+
+// panicScope reports whether the panic sub-rule applies to pkgPath: the
+// hot-path packages, plus the analyzer's own testdata package (which the
+// harness loads at a synthetic path that bypasses normal scoping).
+func panicScope(pkgPath string) bool {
+	return hotPathPackages[pkgPath] || pkgPath == "hbvettest/recoverscope"
+}
+
+func runRecoverscope(pass *Pass) error {
+	checkPanics := panicScope(pass.PkgPath)
+	pass.funcDecls(func(fd *ast.FuncDecl) {
+		sanctioned := pass.PkgPath == quarantinePkg &&
+			fd.Recv == nil && fd.Name.Name == quarantineFunc
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch builtinName(pass.Info, call.Fun) {
+			case "recover":
+				if !sanctioned {
+					pass.Reportf(call.Pos(),
+						"recover() outside the sanctioned quarantine boundary (%s.%s): "+
+							"panics must reach the visit quarantine so they are labeled, not swallowed",
+						quarantinePkg, quarantineFunc)
+				}
+			case "panic":
+				if checkPanics {
+					pass.Reportf(call.Pos(),
+						"panic() on the hot path runs inside the visit quarantine: "+
+							"annotate with //hbvet:allow recoverscope <why dying is correct> "+
+							"or return an error")
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// builtinName resolves a call target to a builtin's name ("" if the
+// expression is not a direct use of a predeclared function). Shadowed
+// identifiers resolve to their local objects, not *types.Builtin, so a
+// user-defined recover() does not trip the rule.
+func builtinName(info *types.Info, fun ast.Expr) string {
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}

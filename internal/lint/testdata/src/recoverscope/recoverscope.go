@@ -1,0 +1,51 @@
+// Package recoverscope exercises the recoverscope analyzer: recover()
+// anywhere outside the sanctioned crawler quarantine boundary, bare
+// panic() in a panic-scoped package (the harness loads this package at
+// a synthetic hot-path-equivalent import path), and the //hbvet:allow
+// escape for justified panics.
+package recoverscope
+
+// swallow hides a panic instead of letting the quarantine label it.
+func swallow() {
+	defer func() {
+		if r := recover(); r != nil { // want recoverscope "sanctioned quarantine boundary"
+			_ = r
+		}
+	}()
+}
+
+// quarantineVisit has the sanctioned function's name but lives in the
+// wrong package: still reported.
+func quarantineVisit() {
+	defer func() {
+		_ = recover() // want recoverscope "sanctioned quarantine boundary"
+	}()
+}
+
+// hotPanic is a bare data-dependent panic on the (synthetic) hot path.
+func hotPanic(n int) {
+	if n < 0 {
+		panic("negative") // want recoverscope "hot path"
+	}
+}
+
+// allowedPanic carries the mandatory justification, so it is clean.
+func allowedPanic(n int) {
+	if n < 0 {
+		//hbvet:allow recoverscope API-misuse precondition; caller bug, not visit data
+		panic("negative")
+	}
+}
+
+// shadowed calls a user-defined recover, not the builtin: no report.
+func shadowed() {
+	recover := func() any { return nil }
+	_ = recover()
+}
+
+// doRecover is recover() hidden behind a helper (useless at runtime,
+// since it is not called directly by a deferred function — but the
+// rule is lexical and still flags it).
+func doRecover() {
+	_ = recover() // want recoverscope "sanctioned quarantine boundary"
+}

@@ -42,12 +42,79 @@ type Overlay struct {
 	// Network replaces the default transport latency model when non-nil
 	// (per-visit; the shared world's handlers are untouched).
 	Network *NetworkProfile
+
+	// Faults injects transport- and payload-level failures into the
+	// per-visit network (the chaos axis). Each entry targets one demand
+	// partner — or all of them — and every probabilistic draw it implies
+	// comes from the visit's seeded fault stream, so fault sequences are
+	// byte-identical across worker counts.
+	Faults []Fault
 }
 
 // IsZero reports whether the overlay applies no intervention at all.
 func (o *Overlay) IsZero() bool {
 	return o == nil || (o.TimeoutMS <= 0 && o.MaxPartners <= 0 &&
-		!o.DisableSync && !o.FixBadWrappers && o.Network == nil)
+		!o.DisableSync && !o.FixBadWrappers && o.Network == nil &&
+		len(o.Faults) == 0)
+}
+
+// Fault is one declarative fault-injection rule. It names a target and
+// a failure shape; the simulated network (internal/simnet) owns the
+// mechanics. Durations are virtual time; window fields (OutageStart,
+// FlapPeriod) are relative to the start of the visit.
+type Fault struct {
+	// Partner selects the demand partner (by registry slug) whose bid
+	// endpoint the fault applies to. Empty or "*" targets every partner
+	// in the registry — an ecosystem-wide failure regime.
+	Partner string
+
+	// FailProb is the probability a request errors at transport level
+	// before reaching the server (connection reset / refused).
+	FailProb float64
+	// Err overrides the reported transport error string.
+	Err string
+	// ExtraLatency is added to every request's round trip.
+	ExtraLatency time.Duration
+
+	// SpikeProb adds SpikeLatency to a request's round trip with this
+	// probability: occasional latency spikes rather than a uniform slow
+	// link (which NetworkProfile already models).
+	SpikeProb    float64
+	SpikeLatency time.Duration
+
+	// SlowLorisProb delays the *response* by SlowLorisStretch with this
+	// probability: the server answers, but the body trickles in — long
+	// enough and the page gives up before delivery (abandonment).
+	SlowLorisProb    float64
+	SlowLorisStretch time.Duration
+
+	// ResetMidBodyProb drops the connection after the server committed
+	// to a response: the client waits the full service time and then
+	// sees a transport error instead of a body.
+	ResetMidBodyProb float64
+
+	// TruncateProb cuts the response body short, producing a malformed
+	// payload (for bid responses: JSON that fails to decode).
+	TruncateProb float64
+
+	// GarbleProb rewrites the response body with a foreign-but-valid
+	// JSON prefix, forcing decoders off any fast path (the rtb codec
+	// falls back to encoding/json and still recovers the bids).
+	GarbleProb float64
+
+	// OutageStart/OutageDuration define a hard outage window on the
+	// virtual clock: every request in [OutageStart, OutageStart+
+	// OutageDuration) after visit start fails. Draw-free.
+	OutageStart    time.Duration
+	OutageDuration time.Duration
+
+	// FlapPeriod makes the endpoint alternate up/down with this period
+	// (up first). Draw-free.
+	FlapPeriod time.Duration
+
+	// RampPerSecond adds this much failure probability per elapsed
+	// virtual second, on top of FailProb: an error-rate ramp.
+	RampPerSecond float64
 }
 
 // NetworkProfile is a named transport-latency model: the round-trip

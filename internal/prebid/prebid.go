@@ -19,6 +19,7 @@ package prebid
 
 import (
 	"strconv"
+	"strings"
 	"time"
 
 	"headerbid/internal/events"
@@ -104,8 +105,22 @@ type BidderResult struct {
 	Latency   time.Duration
 	Late      bool
 	Error     string
-	Bids      []hb.Bid
+	// Retries counts transport-level retransmissions (see maxBidRetries);
+	// Latency spans from the first attempt through the final response.
+	Retries int
+	Bids    []hb.Bid
 }
+
+// maxBidRetries bounds per-bidder retransmissions after transport-level
+// failures (connection reset/refused — not HTTP or decode errors, which
+// a real adapter would not retry). Retries run on the page's virtual
+// clock with exponential backoff, so the degradation path is exactly as
+// deterministic as the happy path.
+const maxBidRetries = 1
+
+// retryBackoffBase is the first retry's backoff; attempt k waits
+// retryBackoffBase << k.
+const retryBackoffBase = 100 * time.Millisecond
 
 // UnitOutcome is the per-ad-unit auction outcome.
 type UnitOutcome struct {
@@ -312,13 +327,53 @@ func (w *Wrapper) sendBidRequest(round *roundState, bidder string, timeout time.
 	idx := len(round.result.Bidders) - 1
 
 	w.env.Fetch(httpReq, func(resp *webreq.Response) {
-		w.onBidResponse(round, idx, bidder, unitsForBidder, resp)
+		w.onBidResponse(round, idx, bidder, unitsForBidder, body, 0, resp)
+	})
+}
+
+// retryBidRequest re-issues a failed bid POST (same body). The retry URL
+// carries a retry=N parameter — the way real adapters tag
+// retransmissions — which is also what lets the detector count retries
+// off the wire without new instrumentation channels. No BidRequested
+// event is re-emitted: the auction asked once.
+func (w *Wrapper) retryBidRequest(round *roundState, idx int, bidder string, units []string, body string, attempt int) {
+	profile, ok := w.reg.BySlug(bidder)
+	if !ok {
+		return
+	}
+	url := profile.BidRequestURL()
+	sep := "?"
+	if strings.IndexByte(url, '?') >= 0 {
+		sep = "&"
+	}
+	httpReq := &webreq.Request{
+		URL:    url + sep + "retry=" + strconv.Itoa(attempt),
+		Method: webreq.POST,
+		Kind:   webreq.KindXHR,
+		Body:   body,
+		Sent:   w.env.Now(),
+	}
+	w.env.Fetch(httpReq, func(resp *webreq.Response) {
+		w.onBidResponse(round, idx, bidder, units, body, attempt, resp)
 	})
 }
 
 // onBidResponse handles one bidder's HTTP response (possibly after the
 // deadline, in which case the bids are recorded as late).
-func (w *Wrapper) onBidResponse(round *roundState, idx int, bidder string, units []string, resp *webreq.Response) {
+func (w *Wrapper) onBidResponse(round *roundState, idx int, bidder string, units []string, body string, attempt int, resp *webreq.Response) {
+	if resp.Err != "" && attempt < maxBidRetries && !round.finalized {
+		// Transport failure with retry budget left: back off and
+		// retransmit instead of conceding the bidder. The bidder stays
+		// in round.pending, so early finalization keeps waiting for the
+		// retry outcome (bounded by the wrapper timeout either way).
+		round.result.Bidders[idx].Retries++
+		backoff := retryBackoffBase << attempt
+		w.env.After(backoff, func() {
+			w.retryBidRequest(round, idx, bidder, units, body, attempt+1)
+		})
+		return
+	}
+
 	now := w.env.Now()
 	br := &round.result.Bidders[idx]
 	br.Responded = now

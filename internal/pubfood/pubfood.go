@@ -203,17 +203,43 @@ func (l *Library) sendBid(prof *partners.Profile, bySlot map[string]*SlotResult,
 		onDone(prof.Slug)
 		return
 	}
+	l.dispatchBid(prof, bySlot, auctionIDs, pending, onDone, body, now, 0)
+}
+
+// maxBidRetries / retryBackoffBase mirror the prebid wrapper's bounded
+// transport-retry policy: retransmit connection-level failures on the
+// virtual clock, never HTTP or decode errors.
+const maxBidRetries = 1
+const retryBackoffBase = 100 * time.Millisecond
+
+// dispatchBid issues one bid POST attempt. A transport failure with
+// retry budget left backs off and retransmits (the retry URL carries a
+// retry=N tag, which is how the detector counts retransmissions); the
+// provider is only marked done — and pending only decremented — when
+// its final attempt resolves, so auction completion waits for the retry
+// outcome (bounded by the auction deadline either way).
+func (l *Library) dispatchBid(prof *partners.Profile, bySlot map[string]*SlotResult,
+	auctionIDs map[string]string, pending *int, onDone func(slug string),
+	body string, sent time.Time, attempt int) {
 	bidParams := map[string]string{hb.KeyBidderFull: prof.Slug}
+	if attempt > 0 {
+		bidParams["retry"] = strconv.Itoa(attempt)
+	}
 	req := &webreq.Request{
 		URL:    urlkit.WithParams(prof.BidEndpoint(), bidParams),
 		Method: webreq.POST,
 		Kind:   webreq.KindXHR,
 		Body:   body,
-		Sent:   now,
+		Sent:   l.env.Now(),
 	}
 	req.PrefillParams(bidParams)
-	sent := now
 	l.env.Fetch(req, func(resp *webreq.Response) {
+		if resp.Err != "" && attempt < maxBidRetries {
+			l.env.After(retryBackoffBase<<attempt, func() {
+				l.dispatchBid(prof, bySlot, auctionIDs, pending, onDone, body, sent, attempt+1)
+			})
+			return
+		}
 		*pending--
 		defer onDone(prof.Slug)
 		if !resp.OK() {

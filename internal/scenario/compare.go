@@ -48,6 +48,21 @@ type VariantResult struct {
 	Beacons  int
 	Requests int
 
+	// Degradation measures (the fault axes move these). BidPosts counts
+	// bid requests on the wire, retries included; BidErrors counts
+	// transport-level bid failures; Retries counts wrapper
+	// retransmissions; Abandoned counts bid requests never answered
+	// within the page's life; Quarantined counts visits converted into
+	// quarantine records by the crawler's panic boundary. TotalWinCPM is
+	// the revenue proxy — the sum of winning CPMs across auctions — so
+	// fault ladders read directly as revenue loss.
+	BidPosts    int
+	BidErrors   int
+	Retries     int
+	Abandoned   int
+	Quarantined int
+	TotalWinCPM float64
+
 	// Extra holds the caller's per-variant metrics (via Sweep.Metrics),
 	// merged across shards, in factory order.
 	Extra []analysis.Metric
@@ -61,6 +76,32 @@ func (v *VariantResult) LateBidRate() float64 {
 		return 0
 	}
 	return float64(v.LateBids) / float64(v.Bids)
+}
+
+// BidErrorRate is the transport-failure share of bid posts on the wire.
+func (v *VariantResult) BidErrorRate() float64 {
+	if v.BidPosts == 0 {
+		return 0
+	}
+	return float64(v.BidErrors) / float64(v.BidPosts)
+}
+
+// NoBidRate is the share of auctions that closed without a winner — the
+// paper's "no ad to show" outcome, which failure regimes inflate.
+func (v *VariantResult) NoBidRate() float64 {
+	if v.Summary.Auctions == 0 {
+		return 0
+	}
+	return 1 - float64(v.Winners)/float64(v.Summary.Auctions)
+}
+
+// RevenueDelta is the relative change of the winning-CPM sum against a
+// baseline: the sweep's revenue-loss measure (negative = loss).
+func (v *VariantResult) RevenueDelta(base *VariantResult) float64 {
+	if base.TotalWinCPM == 0 {
+		return 0
+	}
+	return (v.TotalWinCPM - base.TotalWinCPM) / base.TotalWinCPM
 }
 
 // AxisComparison groups one axis's variant results in axis order.
@@ -113,8 +154,8 @@ func (c *Comparison) Render(w io.Writer) {
 		b.Bids, 100*b.LateBidRate(), b.LatencyMedianMS, b.MedianCPM, b.PartnersReached)
 	for _, ax := range c.Axes {
 		fmt.Fprintf(w, "\n-- axis: %s --\n", ax.Axis)
-		fmt.Fprintf(w, "%-16s %9s %9s %9s %8s %9s %9s %8s %9s\n",
-			"variant", "late%", "Δlate", "medLatMs", ">3s%", "medCPM", "part/site", "reach", "beacons")
+		fmt.Fprintf(w, "%-16s %9s %9s %8s %8s %9s %8s %9s %8s %9s %8s %9s\n",
+			"variant", "late%", "Δlate", "err%", "noBid%", "medLatMs", ">3s%", "medCPM", "Δrev%", "part/site", "reach", "beacons")
 		renderRow(w, b, b, BaselineName)
 		for i := range ax.Variants {
 			v := &ax.Variants[i]
@@ -124,10 +165,12 @@ func (c *Comparison) Render(w io.Writer) {
 }
 
 func renderRow(w io.Writer, v, base *VariantResult, name string) {
-	fmt.Fprintf(w, "%-16s %8.2f%% %+8.2fpp %9.0f %7.1f%% %9.4f %9.2f %8d %9d\n",
+	fmt.Fprintf(w, "%-16s %8.2f%% %+8.2fpp %7.2f%% %7.1f%% %9.0f %7.1f%% %9.4f %+7.1f%% %9.2f %8d %9d\n",
 		name,
 		100*v.LateBidRate(), 100*(v.LateBidRate()-base.LateBidRate()),
+		100*v.BidErrorRate(), 100*v.NoBidRate(),
 		v.LatencyMedianMS, 100*v.FracOver3s, v.MedianCPM,
+		100*v.RevenueDelta(base),
 		v.MeanPartnersPerHBSite, v.PartnersReached, v.Beacons)
 }
 
@@ -155,6 +198,9 @@ type variantAgg struct {
 
 	beacons, requests int
 
+	bidPosts, bidErrors, retries, abandoned, quarantined int
+	winCPMSum                                            float64
+
 	extra []analysis.Metric
 }
 
@@ -181,6 +227,15 @@ func (a *variantAgg) Add(r *dataset.SiteRecord) {
 	a.stats.Add(r)
 	a.requests += r.Traffic.Total()
 	a.beacons += r.Traffic.Beacons
+	a.bidPosts += r.Traffic.BidRequests
+	a.retries += r.Retries
+	a.abandoned += r.Abandoned
+	if r.Quarantined {
+		a.quarantined++
+	}
+	for _, n := range r.PartnerErrors {
+		a.bidErrors += n
+	}
 	for _, m := range a.extra {
 		m.Add(r)
 	}
@@ -200,6 +255,7 @@ func (a *variantAgg) Add(r *dataset.SiteRecord) {
 		if au.Winner != "" && au.WinnerCPM > 0 {
 			a.cpms = append(a.cpms, au.WinnerCPM)
 			a.winners++
+			a.winCPMSum += au.WinnerCPM
 		}
 		for _, b := range au.Bids {
 			if b.Source == "s2s" {
@@ -245,6 +301,12 @@ func (a *variantAgg) Merge(other analysis.Metric) {
 	}
 	a.beacons += o.beacons
 	a.requests += o.requests
+	a.bidPosts += o.bidPosts
+	a.bidErrors += o.bidErrors
+	a.retries += o.retries
+	a.abandoned += o.abandoned
+	a.quarantined += o.quarantined
+	a.winCPMSum += o.winCPMSum
 	for i, m := range a.extra {
 		m.Merge(o.extra[i])
 	}
@@ -266,6 +328,12 @@ func (a *variantAgg) result(axis, name string, ov overlay.Overlay, elapsed time.
 		PartnersReached: len(a.partnerSet),
 		Beacons:         a.beacons,
 		Requests:        a.requests,
+		BidPosts:        a.bidPosts,
+		BidErrors:       a.bidErrors,
+		Retries:         a.retries,
+		Abandoned:       a.abandoned,
+		Quarantined:     a.quarantined,
+		TotalWinCPM:     a.winCPMSum,
 		Extra:           a.extra,
 		Elapsed:         elapsed,
 	}

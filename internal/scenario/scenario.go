@@ -19,6 +19,7 @@ package scenario
 
 import (
 	"strconv"
+	"time"
 
 	"headerbid/internal/overlay"
 )
@@ -117,6 +118,75 @@ func WrapperAxis() Axis {
 	return Axis{Name: "wrapper", Variants: []Variant{
 		{Name: "wrappers=fixed", Overlay: overlay.Overlay{FixBadWrappers: true}},
 	}}
+}
+
+// DefaultFaultRates are the transport failure probabilities the default
+// fault axis sweeps: light packet-loss-grade, degraded, and half-dead.
+var DefaultFaultRates = []float64{0.05, 0.2, 0.5}
+
+// FaultAxis sweeps ecosystem-wide transport failure: one variant per
+// rate, failing every partner's bid exchange with that probability —
+// the counterfactual failure regimes that extend the paper's §6
+// late-bid/revenue analysis. Empty input uses DefaultFaultRates.
+func FaultAxis(failRates ...float64) Axis {
+	if len(failRates) == 0 {
+		failRates = DefaultFaultRates
+	}
+	ax := Axis{Name: "faults"}
+	for _, p := range failRates {
+		ax.Variants = append(ax.Variants, Variant{
+			Name:    "fail=" + formatRatePct(p),
+			Overlay: overlay.Overlay{Faults: []overlay.Fault{{Partner: "*", FailProb: p}}},
+		})
+	}
+	return ax
+}
+
+// PartnerFaultAxis sweeps transport failure of a single demand partner
+// (by registry slug), leaving the rest of the ecosystem healthy: the
+// per-partner degradation ladder. Empty rates use DefaultFaultRates.
+func PartnerFaultAxis(slug string, failRates ...float64) Axis {
+	if len(failRates) == 0 {
+		failRates = DefaultFaultRates
+	}
+	ax := Axis{Name: "faults:" + slug}
+	for _, p := range failRates {
+		ax.Variants = append(ax.Variants, Variant{
+			Name:    slug + "=" + formatRatePct(p),
+			Overlay: overlay.Overlay{Faults: []overlay.Fault{{Partner: slug, FailProb: p}}},
+		})
+	}
+	return ax
+}
+
+// ChaosAxis enumerates the qualitative failure shapes at a fixed,
+// moderate severity: a mid-visit outage window, endpoint flapping,
+// slow-loris responses, connection resets mid-body, truncated bodies
+// (malformed JSON) and garbled bodies (foreign-but-valid JSON, the rtb
+// codec's stdlib-fallback path) — one variant each, ecosystem-wide.
+func ChaosAxis() Axis {
+	sec := func(n int) time.Duration { return time.Duration(n) * time.Second }
+	return Axis{Name: "chaos", Variants: []Variant{
+		{Name: "outage=5s", Overlay: overlay.Overlay{Faults: []overlay.Fault{
+			{Partner: "*", OutageStart: sec(1), OutageDuration: sec(5)}}}},
+		{Name: "flap=2s", Overlay: overlay.Overlay{Faults: []overlay.Fault{
+			{Partner: "*", FlapPeriod: sec(2)}}}},
+		{Name: "slowloris=20%", Overlay: overlay.Overlay{Faults: []overlay.Fault{
+			{Partner: "*", SlowLorisProb: 0.2}}}},
+		{Name: "reset=20%", Overlay: overlay.Overlay{Faults: []overlay.Fault{
+			{Partner: "*", ResetMidBodyProb: 0.2}}}},
+		{Name: "truncate=20%", Overlay: overlay.Overlay{Faults: []overlay.Fault{
+			{Partner: "*", TruncateProb: 0.2}}}},
+		{Name: "garble=20%", Overlay: overlay.Overlay{Faults: []overlay.Fault{
+			{Partner: "*", GarbleProb: 0.2}}}},
+		{Name: "ramp=10%/s", Overlay: overlay.Overlay{Faults: []overlay.Fault{
+			{Partner: "*", RampPerSecond: 0.1}}}},
+	}}
+}
+
+// formatRatePct renders a probability as a percent label ("5%", "12.5%").
+func formatRatePct(p float64) string {
+	return strconv.FormatFloat(p*100, 'g', -1, 64) + "%"
 }
 
 // DefaultAxes returns the three headline axes: timeout sweep, partner

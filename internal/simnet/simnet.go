@@ -21,7 +21,12 @@ import (
 // transport latency around it.
 type Handler func(req *webreq.Request) (status int, body string, service time.Duration)
 
-// FaultMode injects transport-level failures for a host.
+// FaultMode injects transport- and payload-level failures for a host —
+// the mechanical side of the overlay.Fault vocabulary. All probabilistic
+// draws come from a dedicated fault stream seeded from the visit seed,
+// created lazily on the first draw: a fault-free visit takes zero extra
+// draws and allocates nothing, so its output stays byte-identical to a
+// network without fault support at all.
 type FaultMode struct {
 	// FailProb is the probability a request errors at transport level.
 	FailProb float64
@@ -29,6 +34,44 @@ type FaultMode struct {
 	Err string
 	// ExtraLatency is added to every request to this host.
 	ExtraLatency time.Duration
+
+	// SpikeProb adds SpikeLatency (default 1s) to the round trip with
+	// this probability.
+	SpikeProb    float64
+	SpikeLatency time.Duration
+
+	// SlowLorisProb delays response delivery by SlowLorisStretch
+	// (default 15s) with this probability: the handler runs, but the
+	// body trickles in.
+	SlowLorisProb    float64
+	SlowLorisStretch time.Duration
+
+	// ResetMidBodyProb fails the request with this probability *after*
+	// the handler ran: the client waits out the service time, then gets
+	// a transport error instead of the body.
+	ResetMidBodyProb float64
+
+	// TruncateProb cuts the response body to a random prefix with this
+	// probability (malformed payload).
+	TruncateProb float64
+
+	// GarbleProb injects a foreign field at the front of a JSON object
+	// body with this probability (valid JSON, unknown shape).
+	GarbleProb float64
+
+	// OutageStart/OutageDuration: every request whose virtual elapsed
+	// time since the network's last Reset falls in [OutageStart,
+	// OutageStart+OutageDuration) fails. Draw-free.
+	OutageStart    time.Duration
+	OutageDuration time.Duration
+
+	// FlapPeriod alternates the host up/down with this period, up
+	// first. Draw-free.
+	FlapPeriod time.Duration
+
+	// RampPerSecond adds failure probability per elapsed virtual second
+	// on top of FailProb.
+	RampPerSecond float64
 }
 
 // Resolver lazily supplies handlers for hosts that were not explicitly
@@ -81,10 +124,12 @@ type Network struct {
 	callResolver CallResolver
 	resolved     map[string]BoundHandler // memoized resolver hits; flushed by SetResolver/SetCallResolver
 	faults       map[string]FaultMode
-	rng      *rng.Stream
-	seed     int64
-	baseRTT  time.Duration
-	jitter   time.Duration
+	rng          *rng.Stream
+	frng         *rng.Stream // fault draws only; lazily created, see frand
+	seed         int64
+	start        time.Time // virtual time of New/Reset; outage/flap/ramp reference
+	baseRTT      time.Duration
+	jitter       time.Duration
 
 	// Requests counts every Fetch, for traffic accounting.
 	Requests int
@@ -99,6 +144,7 @@ func New(sched *clock.Scheduler, seed int64) *Network {
 		hosts:   make(map[string]BoundHandler, 2),
 		rng:     rng.New(seed),
 		seed:    seed,
+		start:   sched.Now(),
 		baseRTT: 30 * time.Millisecond,
 		jitter:  20 * time.Millisecond,
 	}
@@ -121,7 +167,15 @@ func (n *Network) Reset(seed int64) {
 	n.callResolver = nil
 	n.faults = nil
 	n.rng.Reseed(seed)
+	if n.frng != nil {
+		// Reseed rather than drop: a pooled worker that injected faults
+		// on a previous visit must draw the exact sequence a fresh
+		// network would (see frand), and keeping the stream avoids an
+		// allocation per faulted visit.
+		n.frng.Reseed(seed ^ faultSeedMix)
+	}
 	n.seed = seed
+	n.start = n.Sched.Now()
 	n.baseRTT = 30 * time.Millisecond
 	n.jitter = 20 * time.Millisecond
 	n.Requests = 0
@@ -213,6 +267,97 @@ func (n *Network) ClearFault(host string) {
 	delete(n.faults, hostKey(host))
 }
 
+// faultSeedMix separates the fault stream from the latency-jitter
+// stream: fault draws must not perturb the RTT sequence of requests to
+// healthy hosts, or a single faulted partner would shift every other
+// latency in the visit and the "same seed, fault-free" baseline would
+// no longer be a controlled comparison.
+const faultSeedMix = 0x5fe7eea7c2b6db15
+
+// frand returns the fault-draw stream, creating it on first use. The
+// lazy creation plus the Reset reseed above guarantee the k-th fault
+// draw of a visit is identical whether the network is fresh or pooled.
+func (n *Network) frand() *rng.Stream {
+	if n.frng == nil {
+		n.frng = rng.New(n.seed ^ faultSeedMix)
+	}
+	return n.frng
+}
+
+// applyFault evaluates a host's fault mode for one request. It returns
+// true when the request fails before reaching the server (nc.err set);
+// otherwise it may stretch nc.rtt and arm payload effects on nc
+// (truncation, garbling, mid-body reset, slow-loris delay). Draws are
+// taken in a fixed order, each gated only on the fault's configuration —
+// never on another draw's outcome — so the stream position after k
+// requests is a pure function of (seed, fault config, request order).
+func (n *Network) applyFault(nc *netCall, f *FaultMode) bool {
+	nc.rtt += f.ExtraLatency
+
+	// Availability windows are functions of virtual time alone.
+	elapsed := n.Sched.Now().Sub(n.start)
+	if f.OutageDuration > 0 && elapsed >= f.OutageStart && elapsed < f.OutageStart+f.OutageDuration {
+		nc.err = faultErrString(f, "connection refused")
+		return true
+	}
+	if f.FlapPeriod > 0 && (elapsed/f.FlapPeriod)%2 == 1 {
+		nc.err = faultErrString(f, "connection refused")
+		return true
+	}
+
+	if p := f.FailProb + f.RampPerSecond*elapsed.Seconds(); p > 0 && n.frand().Bool(p) {
+		nc.err = faultErrString(f, "connection reset")
+		return true
+	}
+	if f.SpikeProb > 0 && n.frand().Bool(f.SpikeProb) {
+		if f.SpikeLatency > 0 {
+			nc.rtt += f.SpikeLatency
+		} else {
+			nc.rtt += time.Second
+		}
+	}
+	if f.SlowLorisProb > 0 && n.frand().Bool(f.SlowLorisProb) {
+		if f.SlowLorisStretch > 0 {
+			nc.slow = f.SlowLorisStretch
+		} else {
+			nc.slow = 15 * time.Second
+		}
+	}
+	if f.ResetMidBodyProb > 0 && n.frand().Bool(f.ResetMidBodyProb) {
+		nc.resetMid = true
+		nc.err = faultErrString(f, "connection reset mid-body")
+	}
+	if f.TruncateProb > 0 && n.frand().Bool(f.TruncateProb) {
+		// Keep a meaningful prefix so the payload is plausibly partial
+		// rather than empty: 15–85% of the body survives.
+		nc.truncFrac = 0.15 + 0.7*n.frand().Float64()
+	}
+	if f.GarbleProb > 0 && n.frand().Bool(f.GarbleProb) {
+		nc.garble = true
+	}
+	return false
+}
+
+func faultErrString(f *FaultMode, def string) string {
+	if f.Err != "" {
+		return f.Err
+	}
+	return def
+}
+
+// garbleBody prepends a foreign field to a JSON object body, keeping it
+// valid JSON of an unknown shape — the payload class that must push the
+// rtb codec off its all-or-nothing fast path and onto encoding/json.
+func garbleBody(body string) string {
+	if len(body) < 2 || body[0] != '{' {
+		return body
+	}
+	if body[1] == '}' {
+		return `{"x_chaos":1}` + body[2:]
+	}
+	return `{"x_chaos":1,` + body[1:]
+}
+
 // Hosts returns the number of registered hosts.
 func (n *Network) Hosts() int { return len(n.hosts) }
 
@@ -253,6 +398,12 @@ type netCall struct {
 	rtt     time.Duration
 	resp    *webreq.Response // filled at the server, delivered at the page
 	err     string           // transport failure; delivered instead of a response
+
+	// Armed fault effects (applyFault); all zero on the fault-free path.
+	slow      time.Duration // slow-loris: extra delay before delivery
+	truncFrac float64       // truncate body to this fraction when > 0
+	garble    bool          // rewrite body with a foreign JSON field
+	resetMid  bool          // fail after the handler ran (err above)
 }
 
 // finish hands the response to whichever callback form the caller used.
@@ -273,8 +424,22 @@ func netCallArrive(a any) {
 	if service < 0 {
 		service = 0
 	}
+	delay := service + nc.rtt/2 + nc.slow
+	if nc.resetMid {
+		// The server committed to a response; the connection died while
+		// it was in flight. The client pays the full wait and gets a
+		// transport error instead of a body.
+		nc.net.Sched.AfterCall(delay, netCallFail, nc)
+		return
+	}
+	if nc.truncFrac > 0 && len(body) > 0 {
+		body = body[:int(float64(len(body))*nc.truncFrac)]
+	}
+	if nc.garble {
+		body = garbleBody(body)
+	}
 	nc.resp = &webreq.Response{RequestID: nc.req.ID, Status: status, Body: body}
-	nc.net.Sched.AfterCall(service+nc.rtt/2, netCallDeliver, nc)
+	nc.net.Sched.AfterCall(delay, netCallDeliver, nc)
 }
 
 func netCallDeliver(a any) {
@@ -321,22 +486,16 @@ func (e *Env) fetch(nc *netCall) {
 	}
 	nc.rtt = rtt
 
-	fault, hasFault := n.faults[key]
-	if hasFault {
-		nc.rtt += fault.ExtraLatency
+	if fault, hasFault := n.faults[key]; hasFault {
+		if n.applyFault(nc, &fault) {
+			n.Sched.AfterCall(nc.rtt, netCallFail, nc)
+			return
+		}
 	}
 
 	if !ok {
 		// Unresolvable host: error after a DNS-ish delay.
 		nc.err = "no such host " + strconv.Quote(host)
-		n.Sched.AfterCall(nc.rtt, netCallFail, nc)
-		return
-	}
-	if hasFault && n.rng.Bool(fault.FailProb) {
-		nc.err = fault.Err
-		if nc.err == "" {
-			nc.err = "connection reset"
-		}
 		n.Sched.AfterCall(nc.rtt, netCallFail, nc)
 		return
 	}

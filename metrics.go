@@ -57,6 +57,12 @@ type (
 	PriceVsPopularityMetric = analysis.PriceVsPopularityMetric
 	// TrafficMetric is the §7.3 overhead summary (name "traffic").
 	TrafficMetric = analysis.TrafficMetric
+	// DegradationMetric summarizes failure-regime degradation: partner
+	// error rates, retries, abandonment, quarantine tally (name
+	// "degradation"). All-zero on a fault-free crawl.
+	DegradationMetric = analysis.DegradationMetric
+	// DegradationResult is DegradationMetric's snapshot type.
+	DegradationResult = analysis.DegradationResult
 )
 
 // NewSummaryMetric returns an empty Table-1 summary metric.
@@ -144,3 +150,6 @@ func NewPriceVsPopularity(reg *Registry, binWidth int) *PriceVsPopularityMetric 
 func NewTraffic(expectedWaterfallPasses float64) *TrafficMetric {
 	return analysis.NewTraffic(expectedWaterfallPasses)
 }
+
+// NewDegradation returns an empty failure-degradation metric.
+func NewDegradation() *DegradationMetric { return analysis.NewDegradation() }

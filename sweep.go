@@ -26,6 +26,11 @@ type (
 	// NetworkProfile is a named transport-latency model (base RTT +
 	// jitter) an Overlay can apply per visit.
 	NetworkProfile = overlay.NetworkProfile
+	// Fault is one declarative fault-injection rule an Overlay carries:
+	// a partner target (or "*") plus a failure shape (transport errors,
+	// outage windows, latency spikes, slow-loris, mid-body resets,
+	// truncated/garbled bodies, flapping, error ramps).
+	Fault = overlay.Fault
 	// Variant is one cell of a sweep: a label plus its overlay.
 	Variant = scenario.Variant
 	// Axis is one intervention dimension: a name plus its variants.
@@ -56,6 +61,22 @@ func SyncAxis() Axis { return scenario.SyncAxis() }
 
 // WrapperAxis repairs misconfigured no-wait wrappers.
 func WrapperAxis() Axis { return scenario.WrapperAxis() }
+
+// FaultAxis sweeps ecosystem-wide transport failure of every partner's
+// bid exchange; empty input uses the default rate ladder (5%, 20%, 50%).
+func FaultAxis(failRates ...float64) Axis { return scenario.FaultAxis(failRates...) }
+
+// PartnerFaultAxis sweeps transport failure of one demand partner (by
+// registry slug), leaving the rest healthy; empty rates use the default
+// ladder.
+func PartnerFaultAxis(slug string, failRates ...float64) Axis {
+	return scenario.PartnerFaultAxis(slug, failRates...)
+}
+
+// ChaosAxis enumerates the qualitative failure shapes (outage, flapping,
+// slow-loris, mid-body resets, truncated and garbled bodies, error
+// ramps) at a fixed moderate severity, one variant each.
+func ChaosAxis() Axis { return scenario.ChaosAxis() }
 
 // NetworkProfiles returns the built-in network profiles, fastest first.
 func NetworkProfiles() []NetworkProfile { return overlay.Profiles() }
