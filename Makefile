@@ -19,7 +19,7 @@ SWEEP_VARIANT_PCT ?= 95
 # deliberately, in its own commit.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test race vet lint lint-tools bench bench-smoke bench-gate bench-all benchstat baseline profile sweep chaos-smoke fuzz-smoke
+.PHONY: build test race vet lint lint-tools bench bench-smoke bench-gate bench-all benchstat baseline profile sweep chaos-smoke fuzz-smoke shard-smoke
 
 # Per-target budget for the CI fuzz smoke over the rtb codec's decoder
 # fuzz targets (go test -fuzz accepts exactly one target per run).
@@ -100,6 +100,12 @@ chaos-smoke:
 	$(GO) run ./cmd/hbsweep -sites 400 -timeouts '' -partners '' -profiles '' -faults 0.2 -chaos -q
 	$(GO) test -run 'Chaos|Quarantine|FaultSweep|FaultStream|CorruptBid' \
 		./internal/simnet ./internal/crawler ./internal/scenario
+
+# Distributed-crawl smoke (DESIGN.md §2.4): a 3-shard crawl folded with
+# hbmerge must render the byte-identical single-process figure report,
+# and shard-world generation must show the ~1/n lazy-partition cost.
+shard-smoke:
+	sh scripts/shard_smoke.sh
 
 # Every paper-figure benchmark.
 bench-all:

@@ -13,11 +13,19 @@
 // one-variant counterpart of a cmd/hbsweep axis, useful for crawling one
 // intervention without the sweep machinery.
 //
+// With -shard i/n the run crawls only slice i of an n-way split of the
+// seed's world (membership is a pure function of seed, rank and n, so
+// the n shard runs partition the full crawl exactly), materializing
+// only ~1/n of the world. -shard-out writes the run's metric state to a
+// versioned shard file; cmd/hbmerge folds the n files back into the
+// byte-identical single-process figure report.
+//
 // Usage:
 //
 //	hbcrawl -sites 35000 -days 1 -seed 1 -o crawl.jsonl
 //	hbcrawl -sites 35000 -o crawl.jsonl -report
 //	hbcrawl -sites 5000 -hb-timeout 500 -profile 3g -o slow.jsonl
+//	hbcrawl -sites 35000 -shard 2/4 -o shard2.jsonl -shard-out shard2.hbs
 package main
 
 import (
@@ -35,15 +43,17 @@ import (
 
 func main() {
 	var (
-		sites   = flag.Int("sites", 35000, "number of sites in the generated world")
-		days    = flag.Int("days", 1, "crawl days (day 0 visits all sites; later days revisit HB sites)")
-		seed    = flag.Int64("seed", 1, "world + crawl seed (identical seeds reproduce identical datasets)")
-		out     = flag.String("o", "crawl.jsonl", "output JSONL path ('-' for stdout)")
-		workers = flag.Int("workers", 0, "crawl parallelism (0 = NumCPU)")
-		quiet   = flag.Bool("q", false, "suppress progress output")
-		rep     = flag.Bool("report", false, "render the full figure report from the live run (to stdout, or stderr when -o -)")
-		hbTO    = flag.Int("hb-timeout", 0, "override every wrapper deadline, in ms (scenario overlay; 0 keeps per-site config)")
-		profile = flag.String("profile", "", "network profile overlay: fiber, cable, 4g or 3g (empty keeps defaults)")
+		sites    = flag.Int("sites", 35000, "number of sites in the generated world")
+		days     = flag.Int("days", 1, "crawl days (day 0 visits all sites; later days revisit HB sites)")
+		seed     = flag.Int64("seed", 1, "world + crawl seed (identical seeds reproduce identical datasets)")
+		out      = flag.String("o", "crawl.jsonl", "output JSONL path ('-' for stdout)")
+		workers  = flag.Int("workers", 0, "crawl parallelism (0 = NumCPU)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+		rep      = flag.Bool("report", false, "render the full figure report from the live run (to stdout, or stderr when -o -)")
+		hbTO     = flag.Int("hb-timeout", 0, "override every wrapper deadline, in ms (scenario overlay; 0 keeps per-site config)")
+		profile  = flag.String("profile", "", "network profile overlay: fiber, cable, 4g or 3g (empty keeps defaults)")
+		shardStr = flag.String("shard", "", "crawl only slice i of an n-way world split, as 'i/n' (distributed crawl; fold with hbmerge)")
+		shardOut = flag.String("shard-out", "", "write the run's metric state to this shard file ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -100,10 +110,24 @@ func main() {
 	if !ov.IsZero() {
 		opts = append(opts, headerbid.WithOverlay(ov))
 	}
+	shard := headerbid.Shard{Index: 0, Count: 1}
+	if *shardStr != "" {
+		var err error
+		shard, err = headerbid.ParseShard(*shardStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, headerbid.WithShard(shard.Index, shard.Count))
+	}
 	var fr *headerbid.FigureReport
-	if *rep {
+	if *rep || *shardOut != "" {
 		fr = headerbid.NewFigureReport()
 		opts = append(opts, headerbid.WithMetrics(fr))
+	}
+	var deg *headerbid.DegradationMetric
+	if *shardOut != "" {
+		deg = headerbid.NewDegradation()
+		opts = append(opts, headerbid.WithMetrics(deg))
 	}
 
 	res, err := headerbid.NewExperiment(opts...).Run(ctx)
@@ -133,10 +157,20 @@ func main() {
 		log.Printf("dataset written to %s (%d records)", *out, jsonl.Count())
 	}
 
-	if fr != nil {
+	if *shardOut != "" {
+		h := headerbid.ShardHeader{Seed: *seed, ShardCount: shard.Count, Shards: []int{shard.Index}}
+		if err := headerbid.WriteShardFile(*shardOut, h, []headerbid.MetricCodec{fr, deg}); err != nil {
+			log.Fatal(err)
+		}
+		if *shardOut != "-" {
+			log.Printf("shard %s metric state written to %s", shard, *shardOut)
+		}
+	}
+
+	if *rep {
 		// The JSONL stream owns stdout when writing to '-'.
 		dst := os.Stdout
-		if *out == "-" {
+		if *out == "-" || *shardOut == "-" {
 			dst = os.Stderr
 		}
 		fr.Render(dst)

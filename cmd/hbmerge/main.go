@@ -1,0 +1,99 @@
+// Command hbmerge is the reduce step of the distributed crawl: it folds
+// the shard files written by `hbcrawl -shard i/n -shard-out ...` back
+// into the single-process result. Shards may be given in any order and
+// any grouping — a file written by -merge-out from a partial fold is
+// itself a valid input — and the rendered figure report is byte-exactly
+// what one `hbcrawl -sites N -report` run over the same seed produces.
+//
+// The fold refuses files that are not slices of one crawl: a format
+// version this build does not read, a different world seed, a different
+// shard count, or overlapping shard coverage. By default every shard
+// 0..n-1 must be present; -partial renders whatever coverage the inputs
+// provide (useful while a fleet is still crawling), and -merge-out
+// writes the folded state back out as a combined shard file for later
+// completion.
+//
+// Usage:
+//
+//	for i in 0 1 2 3; do hbcrawl -sites 35000 -shard $i/4 -q -o /dev/null -shard-out shard$i.hbs; done
+//	hbmerge shard0.hbs shard1.hbs shard2.hbs shard3.hbs
+//	hbmerge -partial -merge-out day1.hbs shard0.hbs shard1.hbs
+//	hbmerge -summary shard*.hbs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"headerbid"
+)
+
+func main() {
+	var (
+		partial  = flag.Bool("partial", false, "allow rendering an incomplete fold (missing shards reported on stderr)")
+		summary  = flag.Bool("summary", false, "print only the Table-1 summary instead of the full figure report")
+		mergeOut = flag.String("merge-out", "", "write the folded metric state to this combined shard file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	log.SetFlags(0)
+	log.SetPrefix("hbmerge: ")
+
+	paths := flag.Args()
+	if len(paths) == 0 {
+		log.Fatal("no shard files given (usage: hbmerge [flags] shard0.hbs shard1.hbs ...)")
+	}
+
+	var fold headerbid.ShardFold
+	for _, path := range paths {
+		h, ms, err := headerbid.ReadShardFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fold.Add(h, ms); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+	}
+
+	h := fold.Header()
+	if !fold.Complete() {
+		if !*partial {
+			log.Fatalf("incomplete fold: %d/%d shards covered, missing %v (use -partial to render anyway)",
+				len(h.Shards), h.ShardCount, fold.Missing())
+		}
+		fmt.Fprintf(os.Stderr, "hbmerge: partial fold: %d/%d shards, missing %v\n",
+			len(h.Shards), h.ShardCount, fold.Missing())
+	}
+	fmt.Fprintf(os.Stderr, "hbmerge: folded %d file(s): seed %d, %d/%d shard(s)\n",
+		len(paths), h.Seed, len(h.Shards), h.ShardCount)
+
+	if *mergeOut != "" {
+		if err := headerbid.WriteShardFile(*mergeOut, h, fold.Metrics()); err != nil {
+			log.Fatal(err)
+		}
+		if *mergeOut != "-" {
+			log.Printf("folded state written to %s", *mergeOut)
+		}
+	}
+
+	m, ok := fold.Get("figure_report")
+	if !ok {
+		log.Fatal("shard files carry no figure_report metric")
+	}
+	fr := m.(*headerbid.FigureReport)
+	if *summary {
+		s := fr.Summary()
+		fmt.Printf("sites crawled    %d\n", s.SitesCrawled)
+		fmt.Printf("sites with HB    %d (%.2f%%)\n", s.SitesWithHB, 100*s.AdoptionRate())
+		fmt.Printf("auctions         %d\n", s.Auctions)
+		fmt.Printf("bids             %d\n", s.Bids)
+		fmt.Printf("demand partners  %d\n", s.DemandPartners)
+		fmt.Printf("crawl days       %d\n", s.CrawlDays)
+		return
+	}
+	if *mergeOut != "-" {
+		fr.Render(os.Stdout)
+	}
+}

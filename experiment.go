@@ -36,6 +36,8 @@ type Experiment struct {
 	seed     int64
 	seedSet  bool
 
+	shard sitegen.Shard
+
 	crawlCfg    *CrawlConfig
 	days        int
 	workers     int
@@ -71,6 +73,20 @@ func WithSites(n int) ExperimentOption {
 // randomness (default 1). Identical seeds reproduce identical streams.
 func WithSeed(seed int64) ExperimentOption {
 	return func(e *Experiment) { e.seed = seed; e.seedSet = true }
+}
+
+// WithShard restricts the run to slice index of a count-way split of
+// the world — the distributed-crawl partition. Site→shard assignment is
+// a pure function of (world seed, site rank, count), so the n shard
+// runs of one seed partition the full crawl exactly: every site is
+// visited by exactly one shard, with the same per-visit randomness it
+// would see in a single-process run. For a generated world the
+// experiment materializes only the member sites (~1/count of the
+// generation cost); a world supplied via WithWorld is filtered at crawl
+// time instead. Combine each shard's metric state with
+// snapshot.Fold / cmd/hbmerge to recover the single-process result.
+func WithShard(index, count int) ExperimentOption {
+	return func(e *Experiment) { e.shard = sitegen.Shard{Index: index, Count: count} }
 }
 
 // WithCrawlConfig replaces the paper-default crawl policy wholesale;
@@ -221,7 +237,11 @@ func (e *Experiment) World() *World {
 		if e.sites > 0 {
 			cfg.NumSites = e.sites
 		}
-		e.world = sitegen.Generate(cfg)
+		sh := e.shard
+		if sh.IsZero() {
+			sh = sitegen.Shard{Index: 0, Count: 1}
+		}
+		e.world = sitegen.GenerateShard(cfg, sh)
 	}
 	return e.world
 }
@@ -262,8 +282,25 @@ func (e *Experiment) crawlOptions() crawler.Options {
 func (e *Experiment) Run(ctx context.Context) (Results, error) {
 	//hbvet:allow detwall Results.Elapsed is wall-clock run metadata for operators; simulated time comes from the per-visit clock.Scheduler
 	start := time.Now()
+	if !e.shard.IsZero() && !e.shard.Valid() {
+		return Results{}, fmt.Errorf("headerbid: invalid shard %d/%d", e.shard.Index, e.shard.Count)
+	}
 	w := e.World()
 	opts := e.crawlOptions()
+	if sh := e.shard; sh.Count > 1 && w.Shard != sh {
+		// The world came in via WithWorld already materialized (or as a
+		// different slice); restrict the crawl to this shard's members.
+		// Membership is rank-hashed off the world seed, so the filter
+		// selects exactly the sites GenerateShard would have produced.
+		seed := w.Cfg.Seed
+		prev := opts.Filter
+		opts.Filter = func(s *Site) bool {
+			if sitegen.ShardOf(seed, s.Rank, sh.Count) != sh.Index {
+				return false
+			}
+			return prev == nil || prev(s)
+		}
+	}
 	// Pin the worker count so the shard array and the crawler agree on
 	// the fold-shard space (the crawler owns the defaulting rule).
 	opts.Workers = opts.ResolvedWorkers()

@@ -1,0 +1,50 @@
+package dataset
+
+import (
+	"sort"
+
+	"headerbid/internal/wire"
+)
+
+// EncodeState serializes the accumulator for the snapshot codec: the
+// three identity sets in sorted order plus the additive counters. The
+// per-set counters (SitesCrawled, SitesWithHB) are invariants of the
+// sets — len(siteSeen), len(hbSeen) — so they are re-derived on decode
+// rather than stored.
+func (a *SummaryAccumulator) EncodeState(w *wire.Writer) {
+	w.Strings(sortedSet(a.siteSeen))
+	w.Strings(sortedSet(a.hbSeen))
+	w.Strings(sortedSet(a.partnerSet))
+	w.Int(a.s.Auctions)
+	w.Int(a.s.Bids)
+	w.Int(a.maxDay)
+}
+
+// DecodeState replaces the accumulator's state with a serialized one.
+func (a *SummaryAccumulator) DecodeState(r *wire.Reader) error {
+	a.siteSeen = setOf(r.Strings())
+	a.hbSeen = setOf(r.Strings())
+	a.partnerSet = setOf(r.Strings())
+	a.s = Summary{SitesCrawled: len(a.siteSeen), SitesWithHB: len(a.hbSeen)}
+	a.s.Auctions = r.Int()
+	a.s.Bids = r.Int()
+	a.maxDay = r.Int()
+	return r.Err()
+}
+
+func sortedSet(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func setOf(ks []string) map[string]bool {
+	m := make(map[string]bool, len(ks))
+	for _, k := range ks {
+		m[k] = true
+	}
+	return m
+}

@@ -7,6 +7,7 @@ import (
 	"headerbid/internal/analysis"
 	"headerbid/internal/dataset"
 	"headerbid/internal/partners"
+	"headerbid/internal/wire"
 )
 
 // Figures is the complete streaming figure report: one mergeable
@@ -129,6 +130,25 @@ func (f *Figures) Merge(other analysis.Metric) {
 //
 //hbvet:allow metriclaws Figures is a composite view over sub-metrics; Render needs the live accumulator, and callers treat it as read-only
 func (f *Figures) Snapshot() any { return f }
+
+// EncodeState serializes every section in the fixed f.all order. The
+// section set and order are part of the snapshot format: changing
+// either is a format change and must bump snapshot.FormatVersion.
+func (f *Figures) EncodeState(w *wire.Writer) {
+	for _, m := range f.all {
+		m.(analysis.Codec).EncodeState(w)
+	}
+}
+
+// DecodeState replaces every section's state with the serialized one.
+func (f *Figures) DecodeState(r *wire.Reader) error {
+	for _, m := range f.all {
+		if err := m.(analysis.Codec).DecodeState(r); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
 
 // Summary returns the Table-1 roll-up over everything folded in.
 func (f *Figures) Summary() dataset.Summary { return f.summary.Summary() }

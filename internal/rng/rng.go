@@ -80,6 +80,12 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Mix64 exposes the splitmix64 finalizer for stateless hashing uses
+// outside stream derivation — e.g. sitegen's shard assignment, which
+// needs a uniform, seed-addressed hash of (seed, rank) without paying
+// for a Stream.
+func Mix64(z uint64) uint64 { return mix64(z) }
+
 // hashName is FNV-1a over name without allocating.
 func hashName(name string) uint64 {
 	h := uint64(14695981039346656037)

@@ -1,0 +1,104 @@
+package sitegen
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+
+	"headerbid/internal/partners"
+	"headerbid/internal/rng"
+)
+
+// A Shard identifies one slice of a seed-addressed world: index Index
+// of Count. Shard membership is a pure function of (seed, rank, Count)
+// — see ShardOf — so independent processes handed the same Config and
+// distinct indices generate and crawl disjoint site sets whose union is
+// exactly the full world, without coordinating.
+//
+// The zero value means "unsharded" (the whole world).
+type Shard struct {
+	Index int
+	Count int
+}
+
+// IsZero reports whether the shard is the unsharded default.
+func (s Shard) IsZero() bool { return s.Count == 0 && s.Index == 0 }
+
+// Valid reports whether the shard names a real slice: Count >= 1 and
+// Index in [0, Count).
+func (s Shard) Valid() bool { return s.Count >= 1 && s.Index >= 0 && s.Index < s.Count }
+
+// String renders "i/n", the same syntax ParseShard accepts.
+func (s Shard) String() string {
+	return strconv.Itoa(s.Index) + "/" + strconv.Itoa(s.Count)
+}
+
+// ParseShard parses "i/n" (0-based index, e.g. "0/4" … "3/4").
+func ParseShard(str string) (Shard, error) {
+	i, n, ok := strings.Cut(str, "/")
+	if !ok {
+		return Shard{}, errors.New("sitegen: shard must be \"i/n\" (e.g. \"0/4\")")
+	}
+	idx, err := strconv.Atoi(i)
+	if err != nil {
+		return Shard{}, errors.New("sitegen: shard index " + strconv.Quote(i) + " is not an integer")
+	}
+	cnt, err := strconv.Atoi(n)
+	if err != nil {
+		return Shard{}, errors.New("sitegen: shard count " + strconv.Quote(n) + " is not an integer")
+	}
+	sh := Shard{Index: idx, Count: cnt}
+	if !sh.Valid() {
+		return Shard{}, errors.New("sitegen: shard " + sh.String() + " out of range (need 0 <= i < n)")
+	}
+	return sh, nil
+}
+
+// ShardOf deterministically assigns a site rank (1-based) to a shard
+// index in [0, n). The assignment hashes (seed, rank) through the
+// splitmix64 finalizer, so it is a pure function of the world seed and
+// the site's rank: independent of worker count, shard enumeration
+// order, site config, and of which other shards exist. n <= 1 always
+// maps to shard 0.
+func ShardOf(seed int64, rank, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := rng.Mix64(uint64(seed) ^ rng.Mix64(uint64(rank)*0x9e3779b97f4a7c15))
+	return int(h % uint64(n))
+}
+
+// GenerateShard builds shard sh of the world cfg describes, lazily:
+// only member sites are materialized, so shard i of n pays ~1/n of the
+// full generation cost (non-member ranks cost one hash each, never a
+// site). Each site is generated from its own stable per-rank stream
+// (rng.SplitStable(seed, "site/<domain>")), so a site's bytes are
+// identical whether it was built by Generate or by any GenerateShard
+// that owns it.
+//
+// An invalid sh (including the zero value) is treated as unsharded and
+// yields the full world, exactly as Generate.
+func GenerateShard(cfg Config, sh Shard) *World {
+	if cfg.NumSites <= 0 {
+		cfg.NumSites = 100
+	}
+	if !sh.Valid() {
+		sh = Shard{Index: 0, Count: 1}
+	}
+	reg := partners.Default()
+	w := &World{
+		Cfg:      cfg,
+		Shard:    sh,
+		Registry: reg,
+		byDomain: make(map[string]*Site, cfg.NumSites/max(1, sh.Count)),
+	}
+	for rank := 1; rank <= cfg.NumSites; rank++ {
+		if sh.Count > 1 && ShardOf(cfg.Seed, rank, sh.Count) != sh.Index {
+			continue
+		}
+		s := generateSite(cfg, reg, rank)
+		w.Sites = append(w.Sites, s)
+		w.byDomain[s.Domain] = s
+	}
+	return w
+}

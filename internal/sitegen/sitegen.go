@@ -141,7 +141,10 @@ func (s *Site) AdServerURL() string {
 
 // World is the generated ecosystem.
 type World struct {
-	Cfg      Config
+	Cfg Config
+	// Shard records which slice of the seed-addressed population this
+	// world holds ({0, 1} for a full world; see GenerateShard).
+	Shard    Shard
 	Sites    []*Site
 	Registry *partners.Registry
 
@@ -177,23 +180,10 @@ func (w *World) ExchangeFor(p *partners.Profile) *rtb.Exchange {
 	return ex
 }
 
-// Generate builds a world deterministically from cfg.
+// Generate builds a world deterministically from cfg — the unsharded
+// case of GenerateShard.
 func Generate(cfg Config) *World {
-	if cfg.NumSites <= 0 {
-		cfg.NumSites = 100
-	}
-	reg := partners.Default()
-	w := &World{
-		Cfg:      cfg,
-		Registry: reg,
-		byDomain: make(map[string]*Site, cfg.NumSites),
-	}
-	for rank := 1; rank <= cfg.NumSites; rank++ {
-		s := generateSite(cfg, reg, rank)
-		w.Sites = append(w.Sites, s)
-		w.byDomain[s.Domain] = s
-	}
-	return w
+	return GenerateShard(cfg, Shard{Index: 0, Count: 1})
 }
 
 // SiteByDomain looks a site up by domain.

@@ -1,0 +1,44 @@
+package stats
+
+import (
+	"sort"
+
+	"headerbid/internal/wire"
+)
+
+// EncodeState serializes the binner for the snapshot codec: width, then
+// every bin in ascending index order with its samples in append order.
+// Sorted keys make the bytes a pure function of the accumulated state,
+// so encode(decode(encode(b))) == encode(b).
+func (b *Binner) EncodeState(w *wire.Writer) {
+	w.Int(b.Width)
+	idxs := make([]int, 0, len(b.bins))
+	for i := range b.bins {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	w.Uvarint(uint64(len(idxs)))
+	for _, i := range idxs {
+		w.Int(i)
+		w.Float64s(b.bins[i])
+	}
+}
+
+// DecodeState replaces the binner's state with a serialized one.
+func (b *Binner) DecodeState(r *wire.Reader) error {
+	width := r.Int()
+	n := r.Len()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if width < 1 {
+		return wire.ErrCorrupt
+	}
+	b.Width = width
+	b.bins = make(map[int][]float64, n)
+	for i := 0; i < n; i++ {
+		idx := r.Int()
+		b.bins[idx] = r.Float64s()
+	}
+	return r.Err()
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# shard_smoke.sh — CI smoke for the distributed crawl: a 3-shard crawl
+# folded with hbmerge must render the byte-identical figure report of a
+# single-process crawl over the same seed, and the shard-world
+# generation benchmark must show the ~1/n cost scaling the lazy
+# partition promises.
+#
+# This is the end-to-end CLI counterpart of the in-process tests in
+# shard_determinism_test.go: it exercises the real binaries, the real
+# shard files on disk, and an out-of-order merge.
+set -e
+
+SITES=${SITES:-3000}
+SEED=${SEED:-7}
+DAYS=${DAYS:-2}
+SHARDS=${SHARDS:-3}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== building hbcrawl + hbmerge"
+go build -o "$WORK" ./cmd/hbcrawl ./cmd/hbmerge
+
+echo "== crawling $SHARDS shards of $SITES sites (seed $SEED, $DAYS days)"
+i=0
+files=""
+while [ "$i" -lt "$SHARDS" ]; do
+    "$WORK/hbcrawl" -sites "$SITES" -seed "$SEED" -days "$DAYS" -q \
+        -shard "$i/$SHARDS" -o /dev/null -shard-out "$WORK/shard$i.hbs" 2>/dev/null
+    files="$WORK/shard$i.hbs $files"   # reversed order on purpose
+    i=$((i + 1))
+done
+
+echo "== single-process reference crawl"
+"$WORK/hbcrawl" -sites "$SITES" -seed "$SEED" -days "$DAYS" -q \
+    -o /dev/null -report 2>/dev/null > "$WORK/single.txt"
+
+echo "== folding shards (reverse order)"
+# shellcheck disable=SC2086 # word splitting of $files is intended
+"$WORK/hbmerge" $files 2>/dev/null > "$WORK/merged.txt"
+
+if ! diff -q "$WORK/single.txt" "$WORK/merged.txt" >/dev/null; then
+    echo "FAIL: folded report differs from single-process report" >&2
+    diff "$WORK/single.txt" "$WORK/merged.txt" | head -20 >&2
+    exit 1
+fi
+echo "OK: hbmerge report is byte-identical to the single-process report"
+
+echo "== shard generation cost scaling (BenchmarkGenerateShard)"
+go test ./internal/sitegen/ -run '^$' -bench BenchmarkGenerateShard -benchtime 2x
+echo "OK: shard smoke passed"

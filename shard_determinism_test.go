@@ -1,0 +1,132 @@
+package headerbid_test
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"strconv"
+	"testing"
+
+	headerbid "headerbid"
+)
+
+// shardFileOf runs one slice of the seed's world and returns its
+// marshaled shard file: the distributed crawl's worker half, in-process.
+func shardFileOf(t *testing.T, seed int64, sites, days, index, count int) []byte {
+	t.Helper()
+	fr := headerbid.NewFigureReport()
+	deg := headerbid.NewDegradation()
+	exp := headerbid.NewExperiment(
+		headerbid.WithSeed(seed),
+		headerbid.WithSites(sites),
+		headerbid.WithDays(days),
+		headerbid.WithShard(index, count),
+		headerbid.WithMetrics(fr, deg),
+	)
+	if _, err := exp.Run(context.Background()); err != nil {
+		t.Fatalf("shard %d/%d: %v", index, count, err)
+	}
+	var buf bytes.Buffer
+	h := headerbid.ShardHeader{Seed: seed, ShardCount: count, Shards: []int{index}}
+	if err := headerbid.MarshalShard(&buf, h, []headerbid.MetricCodec{fr, deg}); err != nil {
+		t.Fatalf("shard %d/%d: %v", index, count, err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardedCrawlFoldsToSingleProcessReport is the distributed crawl's
+// end-to-end contract: crawl the world as n independent shard runs,
+// marshal each shard's metric state to its file bytes, fold the files
+// back (in reverse order, exercising order independence), and the
+// rendered figure report is byte-identical to a single-process crawl of
+// the same world. Checked for n = 1, 3 and NumCPU.
+func TestShardedCrawlFoldsToSingleProcessReport(t *testing.T) {
+	const seed, sites, days = 11, 400, 2
+
+	single := headerbid.NewFigureReport()
+	exp := headerbid.NewExperiment(
+		headerbid.WithSeed(seed),
+		headerbid.WithSites(sites),
+		headerbid.WithDays(days),
+		headerbid.WithMetrics(single),
+	)
+	if _, err := exp.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	single.Render(&want)
+
+	counts := []int{1, 3}
+	if c := runtime.NumCPU(); c != 1 && c != 3 {
+		counts = append(counts, c)
+	}
+	for _, n := range counts {
+		t.Run("n="+strconv.Itoa(n), func(t *testing.T) {
+			files := make([][]byte, n)
+			for i := 0; i < n; i++ {
+				files[i] = shardFileOf(t, seed, sites, days, i, n)
+			}
+			var fold headerbid.ShardFold
+			for i := n - 1; i >= 0; i-- {
+				h, ms, err := headerbid.UnmarshalShard(bytes.NewReader(files[i]))
+				if err != nil {
+					t.Fatalf("shard %d: %v", i, err)
+				}
+				if err := fold.Add(h, ms); err != nil {
+					t.Fatalf("folding shard %d: %v", i, err)
+				}
+			}
+			if !fold.Complete() {
+				t.Fatalf("fold incomplete, missing %v", fold.Missing())
+			}
+			m, ok := fold.Get("figure_report")
+			if !ok {
+				t.Fatal("fold carries no figure_report")
+			}
+			var got bytes.Buffer
+			m.(*headerbid.FigureReport).Render(&got)
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Errorf("folded report differs from single-process report (%d vs %d bytes)", got.Len(), want.Len())
+			}
+		})
+	}
+}
+
+// TestWithWorldShardMatchesGeneratedShard: supplying a pre-generated
+// full world with WithShard must crawl exactly the sites a lazily
+// generated shard world crawls — the crawl-time filter and the
+// generation-time skip agree on membership.
+func TestWithWorldShardMatchesGeneratedShard(t *testing.T) {
+	const seed, sites, n = 5, 300, 4
+	cfg := headerbid.DefaultWorldConfig(seed)
+	cfg.NumSites = sites
+	full := headerbid.GenerateWorld(cfg)
+	for i := 0; i < n; i++ {
+		lazy := headerbid.NewFigureReport()
+		expLazy := headerbid.NewExperiment(
+			headerbid.WithSeed(seed),
+			headerbid.WithSites(sites),
+			headerbid.WithShard(i, n),
+			headerbid.WithMetrics(lazy),
+		)
+		if _, err := expLazy.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		filtered := headerbid.NewFigureReport()
+		expFull := headerbid.NewExperiment(
+			headerbid.WithWorld(full),
+			headerbid.WithSeed(seed),
+			headerbid.WithShard(i, n),
+			headerbid.WithMetrics(filtered),
+		)
+		if _, err := expFull.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		var a, b bytes.Buffer
+		lazy.Render(&a)
+		filtered.Render(&b)
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("shard %d/%d: generated-shard and filtered-full-world reports differ", i, n)
+		}
+	}
+}
