@@ -9,6 +9,12 @@ ALLOCS_CEILING ?= 110
 # crawl, in percent (the streaming-metrics design goal is <=10%).
 METRICS_OVERHEAD_PCT ?= 10
 
+# Max throughput the observability-attached crawl (run telemetry on
+# every visit + a sampled trace plan) may give up vs the bare crawl, in
+# percent. The guarded-emission pattern keeps untraced visits free, so
+# this holds well under the ceiling.
+OBS_OVERHEAD_PCT ?= 5
+
 # Max marginal cost of one sweep variant vs a fresh run (world gen +
 # cold crawl), in percent: shared-world sweeps must never regress into
 # per-variant world regeneration (that lands at ~100% or above).
@@ -19,7 +25,7 @@ SWEEP_VARIANT_PCT ?= 95
 # deliberately, in its own commit.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test race vet lint lint-tools bench bench-smoke bench-gate bench-all benchstat baseline profile sweep chaos-smoke fuzz-smoke shard-smoke
+.PHONY: build test race vet lint lint-tools bench bench-smoke bench-gate bench-all benchstat baseline profile sweep chaos-smoke fuzz-smoke shard-smoke trace-smoke
 
 # Per-target budget for the CI fuzz smoke over the rtb codec's decoder
 # fuzz targets (go test -fuzz accepts exactly one target per run).
@@ -39,7 +45,8 @@ vet:
 
 # The static-analysis gate, identical for CI and developers: go vet,
 # then hbvet (the repo's own analyzers — determinism wall, hot-path
-# allocations, metric laws, ctx hygiene, recover scope) over every package in the
+# allocations, metric laws, ctx hygiene, recover scope, guarded trace
+# emission) over every package in the
 # module, cmd/ and examples/ included, then staticcheck when installed
 # (CI pins it through lint-tools; a bare container still gets vet+hbvet,
 # which need nothing beyond the Go toolchain).
@@ -75,6 +82,7 @@ bench-smoke:
 # support costs the clean hot path nothing.
 bench-gate:
 	MAX_ALLOCS=$(ALLOCS_CEILING) MAX_METRICS_OVERHEAD_PCT=$(METRICS_OVERHEAD_PCT) \
+		MAX_OBS_OVERHEAD_PCT=$(OBS_OVERHEAD_PCT) \
 		MAX_SWEEP_VARIANT_PCT=$(SWEEP_VARIANT_PCT) sh scripts/bench_gate.sh
 
 # Short fuzz run over the rtb codec's decoder targets: each target
@@ -106,6 +114,13 @@ chaos-smoke:
 # and shard-world generation must show the ~1/n lazy-partition cost.
 shard-smoke:
 	sh scripts/shard_smoke.sh
+
+# Observability smoke (DESIGN.md §2.5): a traced crawl through the real
+# hbcrawl binary must be worker-count invariant (JSONL and Perfetto
+# trace bytes both), must not perturb the untraced crawl's output, and
+# the trace must pass the span-nesting validator.
+trace-smoke:
+	sh scripts/trace_smoke.sh
 
 # Every paper-figure benchmark.
 bench-all:

@@ -9,6 +9,7 @@ package headerbid
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"testing"
@@ -576,6 +577,65 @@ func BenchmarkCrawl_MetricsOverhead(b *testing.B) {
 		b.ReportMetric(100*(withMin.Seconds()-bareMin.Seconds())/bareMin.Seconds(), "overhead_pct")
 		b.ReportMetric(sites/bareMin.Seconds(), "bare_sites/sec")
 		b.ReportMetric(sites/withMin.Seconds(), "metrics_sites/sec")
+	}
+}
+
+// BenchmarkCrawl_ObsOverhead measures the throughput cost of compiling
+// the observability layer into the crawl — run telemetry on every visit
+// plus a sampled trace plan (8 of 1200 sites recorded, written to a
+// discarding sink) — the number the bench gate's obs ceiling reads
+// (overhead_pct). Same per-side-minimum interleaving discipline as
+// BenchmarkCrawl_MetricsOverhead: the workload is deterministic, so
+// noise only ever inflates a side's time, making the minimum a robust
+// estimate and gate retries safe. The untraced majority of visits is
+// what the guarded-emission pattern (hbvet: obsguard) keeps free; this
+// benchmark is the end-to-end check that it actually held.
+func BenchmarkCrawl_ObsOverhead(b *testing.B) {
+	const sites = 1200
+	cfg := DefaultWorldConfig(7)
+	cfg.NumSites = sites
+	world := GenerateWorld(cfg)
+	opts := DefaultCrawlConfig(7)
+
+	runOnce := func(withObs bool) time.Duration {
+		eopts := []ExperimentOption{WithWorld(world), WithCrawlConfig(opts)}
+		if withObs {
+			eopts = append(eopts,
+				WithTelemetry(NewTelemetry()),
+				WithTrace(TracePlan{MaxSites: 8}),
+				WithSink(NewTraceSink(io.Discard)))
+		}
+		start := time.Now()
+		res, err := NewExperiment(eopts...).Run(context.Background())
+		if err != nil || res.Stats.Visits != sites {
+			b.Fatalf("run failed: %v (%d visits)", err, res.Stats.Visits)
+		}
+		return time.Since(start)
+	}
+	runOnce(false) // warm up pools and page caches off the clock
+
+	var bareMin, withMin time.Duration
+	keepMin := func(d *time.Duration, v time.Duration) {
+		if *d == 0 || v < *d {
+			*d = v
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			keepMin(&bareMin, runOnce(false))
+			keepMin(&withMin, runOnce(true))
+		} else {
+			keepMin(&withMin, runOnce(true))
+			keepMin(&bareMin, runOnce(false))
+		}
+	}
+	b.StopTimer()
+
+	if bareMin > 0 {
+		b.ReportMetric(100*(withMin.Seconds()-bareMin.Seconds())/bareMin.Seconds(), "overhead_pct")
+		b.ReportMetric(sites/bareMin.Seconds(), "bare_sites/sec")
+		b.ReportMetric(sites/withMin.Seconds(), "obs_sites/sec")
 	}
 }
 

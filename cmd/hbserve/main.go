@@ -6,7 +6,13 @@
 //	curl -H 'Host: hb.doubleclick.net' \
 //	    'http://127.0.0.1:<port>/ssp/auction?site=site00002.example&slots=a|300x250'
 //
-// It prints a few HB-enabled sites to try and blocks until interrupted.
+// Every virtual host also answers the operator paths /healthz (liveness)
+// and /metrics (Prometheus text: request totals plus per-endpoint-class
+// latency histograms). With -access-log each served request is logged as
+// one structured logfmt line; with -obs a separate debug listener serves
+// net/http/pprof. It prints a few HB-enabled sites to try and blocks
+// until interrupted, then shuts down gracefully (in-flight requests get
+// a drain window).
 package main
 
 import (
@@ -19,13 +25,16 @@ import (
 
 	"headerbid"
 	"headerbid/internal/livenet"
+	"headerbid/internal/obs"
 )
 
 func main() {
 	var (
-		sites = flag.Int("sites", 50, "sites in the generated world")
-		seed  = flag.Int64("seed", 1, "world seed")
-		scale = flag.Float64("scale", 1.0, "service-time scale (use <1 to speed responses up)")
+		sites     = flag.Int("sites", 50, "sites in the generated world")
+		seed      = flag.Int64("seed", 1, "world seed")
+		scale     = flag.Float64("scale", 1.0, "service-time scale (use <1 to speed responses up)")
+		accessLog = flag.String("access-log", "", "write one logfmt line per served request to this file ('-' for stderr)")
+		obsAddr   = flag.String("obs", "", "serve pprof and debug vars on this extra address, e.g. 127.0.0.1:6060")
 	)
 	flag.Parse()
 
@@ -40,9 +49,31 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
+
+	var logFile *os.File
+	switch *accessLog {
+	case "":
+	case "-":
+		srv.AccessLog = os.Stderr
+	default:
+		logFile, err = os.Create(*accessLog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.AccessLog = logFile
+	}
+
+	if *obsAddr != "" {
+		dbg, addr, err := obs.Serve(*obsAddr, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("pprof on http://%s/debug/pprof/", addr)
+	}
 
 	fmt.Printf("ecosystem serving on %s (route by Host header)\n", srv.Addr())
+	fmt.Printf("operator endpoints: http://%s/healthz  http://%s/metrics\n", srv.Addr(), srv.Addr())
 	fmt.Println("HB-enabled sites to try:")
 	shown := 0
 	for _, s := range world.HBSites() {
@@ -60,5 +91,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	<-ctx.Done()
-	fmt.Println("\nshutting down")
+
+	// Graceful drain: Close delegates to http.Server.Shutdown with a
+	// deadline, so in-flight requests finish before the listener dies.
+	log.Printf("shutting down (served %d requests)", srv.Stats.Requests())
+	if err := srv.Close(); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if logFile != nil {
+		logFile.Close()
+	}
+	log.Print("bye")
 }

@@ -46,6 +46,9 @@ type Experiment struct {
 	filter      func(*Site) bool
 	overlay     Overlay
 
+	trace     *TracePlan
+	telemetry *Telemetry
+
 	sinks   []Sink
 	metrics []Metric
 }
@@ -153,6 +156,25 @@ func WithSink(sinks ...Sink) ExperimentOption {
 // visits ordered sinks saw.
 func WithMetrics(ms ...Metric) ExperimentOption {
 	return func(e *Experiment) { e.metrics = append(e.metrics, ms...) }
+}
+
+// WithTrace records virtual-clock spans for the visits the plan selects
+// and delivers them on Visit.Trace (attach a TraceSink to write a
+// Perfetto-loadable file). Selection is made against each day's
+// rank-ordered job list, so traced visits — and the trace bytes — are
+// identical across worker counts. Untraced visits pay nothing: the
+// recorder is nil and every emission site is guarded.
+func WithTrace(plan TracePlan) ExperimentOption {
+	return func(e *Experiment) { e.trace = &plan }
+}
+
+// WithTelemetry feeds run-level operational counters (visits, pool
+// reuse, retries, virtual wire volume) into reg as the crawl runs,
+// harvested once per completed visit on the worker goroutines. reg is
+// safe to read concurrently (reg.Totals()) — the live data source for
+// progress displays and the -obs debug endpoint.
+func WithTelemetry(reg *Telemetry) ExperimentOption {
+	return func(e *Experiment) { e.telemetry = reg }
 }
 
 // WithProgress is shorthand for WithSink(NewProgressSink(fn)).
@@ -270,6 +292,12 @@ func (e *Experiment) crawlOptions() crawler.Options {
 	if !e.overlay.IsZero() {
 		ov := e.overlay
 		opts.Overlay = &ov
+	}
+	if e.trace != nil {
+		opts.Trace = e.trace
+	}
+	if e.telemetry != nil {
+		opts.Telemetry = e.telemetry
 	}
 	return opts
 }

@@ -62,6 +62,7 @@ import (
 	"headerbid/internal/crawler"
 	"headerbid/internal/dataset"
 	"headerbid/internal/hb"
+	"headerbid/internal/obs"
 	"headerbid/internal/partners"
 	"headerbid/internal/report"
 	"headerbid/internal/sitegen"
@@ -103,7 +104,21 @@ type (
 	// FigureReport accumulates every dataset-derived table and figure of
 	// the paper as one composite Metric; Render writes the full report.
 	FigureReport = report.Figures
+	// TracePlan selects which visits of a crawl record spans (see
+	// WithTrace); selection is rank-ordered and worker-count-invariant.
+	TracePlan = obs.TracePlan
+	// VisitSpans is one traced visit's virtual-timeline events, delivered
+	// on Visit.Trace in deterministic crawl order.
+	VisitSpans = obs.VisitSpans
+	// Telemetry is the run-level counter registry fed by a crawl (see
+	// WithTelemetry); read it live from another goroutine via Totals.
+	Telemetry = obs.Registry
+	// TelemetryTotals is one consistent read of a Telemetry registry.
+	TelemetryTotals = obs.Totals
 )
+
+// NewTelemetry returns an empty run-telemetry registry.
+func NewTelemetry() *Telemetry { return obs.NewRegistry() }
 
 // Facet values.
 const (

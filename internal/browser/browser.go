@@ -14,6 +14,7 @@ import (
 
 	"headerbid/internal/events"
 	"headerbid/internal/htmlmeta"
+	"headerbid/internal/obs"
 	"headerbid/internal/webreq"
 )
 
@@ -89,6 +90,12 @@ type Page struct {
 
 	// Doc is the parsed document, set after load.
 	Doc *htmlmeta.Document
+
+	// Trace is this visit's span recorder (nil = tracing off, the
+	// default). The crawler sets it on traced visits; page libraries
+	// reach it through the VisitTrace accessor and must emit behind the
+	// guarded Enabled() check (hbvet: obsguard).
+	Trace *obs.VisitTrace
 }
 
 // NewPage creates a page bound to env.
@@ -126,7 +133,13 @@ func (p *Page) Rebind(env Env, opts Options) {
 	p.busyUntil = time.Time{}
 	p.closed = false
 	p.Doc = nil
+	p.Trace = nil
 }
+
+// VisitTrace exposes the visit's span recorder to page libraries (the
+// wrappers and the cookie-sync machinery see the page as their Env and
+// type-assert for this accessor). Nil when the visit is untraced.
+func (p *Page) VisitTrace() *obs.VisitTrace { return p.Trace }
 
 // Now implements the library Env.
 func (p *Page) Now() time.Time { return p.env.Now() }

@@ -33,6 +33,7 @@ import (
 	"headerbid/internal/clock"
 	"headerbid/internal/core"
 	"headerbid/internal/dataset"
+	"headerbid/internal/obs"
 	"headerbid/internal/overlay"
 	"headerbid/internal/pagert"
 	"headerbid/internal/simnet"
@@ -81,6 +82,15 @@ type Options struct {
 	// tests use it to corrupt handlers or inject in-visit panics.
 	// Production crawls leave it nil.
 	VisitHook func(net *simnet.Network, s *sitegen.Site, day int)
+	// Trace selects visits for span recording (nil = no tracing). The
+	// selection is made against each day's rank-ordered job list before
+	// workers start, so which visits are traced — and the resulting
+	// trace bytes — do not depend on worker count.
+	Trace *obs.TracePlan
+	// Telemetry, when non-nil, receives run-level operational counters
+	// (visits, pool reuse, wire volume) harvested once per completed
+	// visit on the worker goroutine that produced it.
+	Telemetry *obs.Registry
 }
 
 // ResolvedWorkers is the worker count a crawl actually runs with
@@ -115,6 +125,10 @@ type Visit struct {
 	Day    int // crawl day of this visit
 	Done   int // visits emitted so far this day (1-based, this one included)
 	Total  int // visits scheduled this day
+	// Trace holds the visit's recorded spans when the crawl's TracePlan
+	// selected it (nil otherwise). Like Record, it arrives in
+	// deterministic crawl order.
+	Trace *obs.VisitSpans
 }
 
 // EmitFunc receives each visit in deterministic crawl order (by day, then
@@ -211,11 +225,24 @@ func streamDay(parent context.Context, w *sitegen.World, jobs []crawlJob, opts O
 	defer cancel()
 
 	type result struct {
-		rec *dataset.SiteRecord
-		idx int
+		rec   *dataset.SiteRecord
+		spans *obs.VisitSpans
+		idx   int
 	}
 	jobCh := make(chan int)
 	resCh := make(chan result, opts.Workers)
+
+	// Trace selection happens here, against the day's job order, before
+	// any worker starts: traced[i] is a pure function of the plan and the
+	// rank-ordered domain list, never of completion order.
+	var traced []bool
+	if opts.Trace != nil {
+		domains := make([]string, len(jobs))
+		for i, j := range jobs {
+			domains[i] = j.site.Domain
+		}
+		traced = opts.Trace.Select(domains)
+	}
 
 	var wg sync.WaitGroup
 	for wk := 0; wk < opts.Workers; wk++ {
@@ -228,14 +255,37 @@ func streamDay(parent context.Context, w *sitegen.World, jobs []crawlJob, opts O
 			// JSONL test is the standing proof) while eliminating the
 			// per-visit construction the allocation profile blamed.
 			vrt := newVisitRuntime()
+			var wtrace *obs.VisitTrace // lazily pooled per-worker recorder
+			reg := opts.Telemetry
+			if reg != nil {
+				reg.Worker(shard).PoolMisses.Add(1)
+			}
 			for idx := range jobCh {
 				j := jobs[idx]
-				rec := quarantineVisit(&vrt, w, j.site, j.day, opts)
+				vt := (*obs.VisitTrace)(nil)
+				if traced != nil && traced[idx] {
+					if wtrace == nil {
+						wtrace = obs.NewVisitTrace()
+					}
+					vt = wtrace
+					if vt.Enabled() {
+						vt.Reset()
+					}
+				}
+				prev := vrt
+				rec := quarantineVisit(&vrt, w, j.site, j.day, opts, vt)
+				var spans *obs.VisitSpans
+				if vt.Enabled() {
+					spans = vt.Snapshot(j.site.Domain, j.day)
+				}
+				if reg != nil {
+					harvestVisit(reg.Worker(shard), rec, vrt, prev, spans != nil)
+				}
 				if fold != nil {
 					fold(shard, rec)
 				}
 				select {
-				case resCh <- result{rec: rec, idx: idx}:
+				case resCh <- result{rec: rec, spans: spans, idx: idx}:
 				case <-ctx.Done():
 					return
 				}
@@ -256,7 +306,7 @@ func streamDay(parent context.Context, w *sitegen.World, jobs []crawlJob, opts O
 
 	// Reorder completion order back into job order before emitting. The
 	// pending map never grows past the out-of-order window (≈ workers).
-	pending := make(map[int]*dataset.SiteRecord, opts.Workers)
+	pending := make(map[int]result, opts.Workers)
 	next := 0
 	var emitErr error
 	for res := range resCh {
@@ -264,15 +314,15 @@ func streamDay(parent context.Context, w *sitegen.World, jobs []crawlJob, opts O
 			cancel() // stop feeding; keep draining so workers can exit
 			continue
 		}
-		pending[res.idx] = res.rec
+		pending[res.idx] = res
 		for {
-			rec, ok := pending[next]
+			r, ok := pending[next]
 			if !ok {
 				break
 			}
 			delete(pending, next)
 			next++
-			if err := emit(Visit{Record: rec, Day: rec.VisitDay, Done: next, Total: len(jobs)}); err != nil {
+			if err := emit(Visit{Record: r.rec, Day: r.rec.VisitDay, Done: next, Total: len(jobs), Trace: r.spans}); err != nil {
 				emitErr = err
 				cancel()
 				break
@@ -329,22 +379,27 @@ func newVisitRuntime() *visitRuntime {
 // VisitSimulated performs one clean-slate visit of one site on a private
 // virtual-clock network. Deterministic in (world seed, site, day).
 func VisitSimulated(w *sitegen.World, s *sitegen.Site, day int, opts Options) *dataset.SiteRecord {
-	return newVisitRuntime().visit(w, s, day, opts)
+	return newVisitRuntime().visit(w, s, day, opts, nil)
 }
 
 // visit performs one clean-slate visit on the pooled runtime. The
 // scheduler and network are reset first — the "new, clean instance"
 // policy from the paper — and only the hosts this visit can reach are
-// installed.
-func (vrt *visitRuntime) visit(w *sitegen.World, s *sitegen.Site, day int, opts Options) *dataset.SiteRecord {
+// installed. vt is the visit's span recorder (nil for untraced visits:
+// every emission below sits behind the nil-safe Enabled guard).
+func (vrt *visitRuntime) visit(w *sitegen.World, s *sitegen.Site, day int, opts Options, vt *obs.VisitTrace) *dataset.SiteRecord {
 	vrt.sched.Reset(clock.Epoch.AddDate(0, 0, day))
 	vrt.net.Reset(visitSeed(opts.Seed, s.Domain, day))
 	net := vrt.net
 	sched := vrt.sched
+	t0 := sched.Now()
 	if ov := opts.Overlay; ov != nil && ov.Network != nil {
 		net.SetRTT(ov.Network.BaseRTT, ov.Network.Jitter)
 	}
-	w.InstallVisit(net, s, &vrt.binding)
+	eco := w.InstallVisit(net, s, &vrt.binding)
+	if vt.Enabled() {
+		eco.SetTrace(vt)
+	}
 	if ov := opts.Overlay; ov != nil && len(ov.Faults) > 0 {
 		installFaults(net, w, ov.Faults)
 	}
@@ -383,6 +438,11 @@ func (vrt *visitRuntime) visit(w *sitegen.World, s *sitegen.Site, day int, opts 
 	page := b.VisitPage(vrt.page, s.PageURL(), func(p *browser.Page, vr *browser.VisitResult) {
 		visit = vr
 	})
+	if vt.Enabled() {
+		// Set after VisitPage: Rebind cleared the carrier. Safe — the
+		// document only arrives once the scheduler runs below.
+		page.Trace = vt
+	}
 	dopts := core.FullOptions()
 	if opts.Detector != nil {
 		dopts = *opts.Detector
@@ -395,14 +455,62 @@ func (vrt *visitRuntime) visit(w *sitegen.World, s *sitegen.Site, day int, opts 
 	sched.RunUntil(sched.Now().Add(budget))
 	page.Close()
 
-	obs := det.Observation()
+	ob := det.Observation()
 	loaded, timedOut, errStr := false, false, ""
 	if visit != nil {
 		loaded, timedOut, errStr = visit.Loaded, visit.TimedOut, visit.Err
 	}
-	rec := dataset.FromObservation(obs, s.Rank, day, loaded, timedOut, errStr)
+	if vt.Enabled() {
+		status := "error"
+		switch {
+		case timedOut:
+			status = "timeout"
+		case loaded:
+			status = "loaded"
+		}
+		vt.Span(obs.TrackPage, "visit", t0, sched.Now(), obs.SpanOpts{Detail: status})
+	}
+	rec := dataset.FromObservation(ob, s.Rank, day, loaded, timedOut, errStr)
 	rec.Domain = s.Domain // authoritative (observation derives it from URL)
 	return rec
+}
+
+// harvestVisit folds one completed visit into the run's telemetry shard.
+// It runs on the worker goroutine; everything it reads (record, pooled
+// network counters) belongs to that worker.
+func harvestVisit(c *obs.Counters, rec *dataset.SiteRecord, vrt, prev *visitRuntime, traced bool) {
+	c.Visits.Add(1)
+	if rec.Loaded {
+		c.Loaded.Add(1)
+	}
+	if rec.TimedOut {
+		c.TimedOut.Add(1)
+	}
+	if rec.HB {
+		c.HB.Add(1)
+	}
+	if rec.Quarantined {
+		c.Quarantined.Add(1)
+	}
+	c.Retries.Add(uint64(rec.Retries))
+	c.Abandoned.Add(uint64(rec.Abandoned))
+	perr := 0
+	for _, n := range rec.PartnerErrors {
+		perr += n
+	}
+	c.PartnerErrors.Add(uint64(perr))
+	if vrt == prev {
+		c.PoolHits.Add(1)
+	} else {
+		// The quarantine boundary rebuilt the runtime mid-loop.
+		c.PoolMisses.Add(1)
+	}
+	c.WireRequests.Add(uint64(vrt.net.Requests))
+	c.WireBytesOut.Add(uint64(vrt.net.BytesOut))
+	c.WireBytesIn.Add(uint64(vrt.net.BytesIn))
+	if traced {
+		c.TracedVisits.Add(1)
+	}
 }
 
 // installFaults translates the overlay's declarative fault rules into
@@ -446,14 +554,19 @@ func installFaults(net *simnet.Network, w *sitegen.World, faults []overlay.Fault
 // pooled runtime is discarded and rebuilt, because a half-run visit can
 // leave the scheduler/page in an arbitrary state that a Reset is not
 // specified to recover from.
-func quarantineVisit(vrtp **visitRuntime, w *sitegen.World, s *sitegen.Site, day int, opts Options) (rec *dataset.SiteRecord) {
+func quarantineVisit(vrtp **visitRuntime, w *sitegen.World, s *sitegen.Site, day int, opts Options, vt *obs.VisitTrace) (rec *dataset.SiteRecord) {
 	defer func() {
 		if r := recover(); r != nil {
+			if vt.Enabled() {
+				// The panicked runtime's clock still reads the moment of
+				// death; capture it before discarding the runtime.
+				vt.Instant(obs.TrackPage, "quarantine", (*vrtp).sched.Now(), fmt.Sprint(r))
+			}
 			*vrtp = newVisitRuntime()
 			rec = quarantineRecord(s, day, r, debug.Stack())
 		}
 	}()
-	return (*vrtp).visit(w, s, day, opts)
+	return (*vrtp).visit(w, s, day, opts, vt)
 }
 
 // quarantineRecord synthesizes the degraded record for a panicked

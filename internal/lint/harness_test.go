@@ -27,6 +27,7 @@ func TestDetwallTestdata(t *testing.T)    { checkTestdata(t, Detwall, "detwall")
 func TestHotallocTestdata(t *testing.T)   { checkTestdata(t, Hotalloc, "hotalloc") }
 func TestMetriclawsTestdata(t *testing.T) { checkTestdata(t, Metriclaws, "metriclaws") }
 func TestSinkctxTestdata(t *testing.T)    { checkTestdata(t, Sinkctx, "sinkctx") }
+func TestObsguardTestdata(t *testing.T)   { checkTestdata(t, Obsguard, "obsguard") }
 func TestRecoverscopeTestdata(t *testing.T) {
 	checkTestdata(t, Recoverscope, "recoverscope")
 }

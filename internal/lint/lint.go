@@ -17,7 +17,7 @@
 //	//hbvet:allow <rule> <reason>
 //
 // where <rule> is an analyzer name (detwall, hotalloc, metriclaws,
-// sinkctx, recoverscope) and <reason> is free text explaining why the violation is
+// sinkctx, recoverscope, obsguard) and <reason> is free text explaining why the violation is
 // intentional — the reason is mandatory; a bare allow is itself
 // reported. The directive covers its own line (trailing comment) and
 // the first line after its comment group (standalone comment above the
@@ -96,7 +96,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // runs exactly this set; the driver's meta-test asserts no analyzer
 // declared in this package is missing from it.
 func All() []*Analyzer {
-	return []*Analyzer{Detwall, Hotalloc, Metriclaws, Sinkctx, Recoverscope}
+	return []*Analyzer{Detwall, Hotalloc, Metriclaws, Sinkctx, Recoverscope, Obsguard}
 }
 
 // knownRule reports whether name names a registered analyzer (used to

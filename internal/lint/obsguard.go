@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Obsguard enforces the observability layer's zero-overhead-when-disabled
+// contract: every recording call on an obs.VisitTrace — Span, Instant,
+// Reset, Snapshot, anything but the Enabled guard itself — must sit
+// lexically inside the body of an if statement whose condition checks
+// Enabled() on a VisitTrace. The guard is what makes untraced visits
+// free: with the call (including all its argument expressions) inside
+// the guarded block, the disabled path evaluates nothing and allocates
+// nothing, which is how the bench gate's ALLOCS_CEILING holds with
+// tracing compiled in. An unguarded call site pays argument construction
+// on every visit whether traced or not — exactly the regression this
+// rule exists to catch at compile time instead of in the bench gate.
+var Obsguard = &Analyzer{
+	Name: "obsguard",
+	Doc: "require obs.VisitTrace recording calls to be lexically guarded by " +
+		"an Enabled() check so the disabled path stays allocation-free",
+	// The obs package itself implements the recorder; its methods and
+	// tests legitimately touch the un-guarded internals.
+	Applies: func(pkgPath string) bool { return pkgPath != obsPkgPath },
+	Run:     runObsguard,
+}
+
+// obsPkgPath is the import path of the observability package whose
+// VisitTrace type the rule polices.
+const obsPkgPath = "headerbid/internal/obs"
+
+func runObsguard(pass *Pass) error {
+	pass.funcDecls(func(fd *ast.FuncDecl) {
+		// Pass 1: collect the body spans of every if statement whose
+		// condition contains an Enabled() check on a VisitTrace.
+		type span struct{ lo, hi int }
+		var guarded []span
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			ifStmt, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			hasGuard := false
+			ast.Inspect(ifStmt.Cond, func(c ast.Node) bool {
+				if call, ok := c.(*ast.CallExpr); ok {
+					if name, ok := visitTraceMethod(pass.Info, call); ok && name == "Enabled" {
+						hasGuard = true
+					}
+				}
+				return !hasGuard
+			})
+			if hasGuard {
+				guarded = append(guarded, span{int(ifStmt.Body.Pos()), int(ifStmt.Body.End())})
+			}
+			return true
+		})
+
+		// Pass 2: every other VisitTrace method call must land inside one
+		// of those bodies.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := visitTraceMethod(pass.Info, call)
+			if !ok || name == "Enabled" {
+				return true
+			}
+			pos := int(call.Pos())
+			for _, g := range guarded {
+				if g.lo <= pos && pos < g.hi {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(),
+				"obs.VisitTrace.%s outside an Enabled() guard: wrap the call in "+
+					"`if vt := ...; vt.Enabled() { ... }` so untraced visits evaluate "+
+					"no argument expressions and allocate nothing", name)
+			return true
+		})
+	})
+	return nil
+}
+
+// visitTraceMethod resolves a call to a method on obs.VisitTrace,
+// returning the method name. The receiver may be the pointer or value
+// form; anything else (including same-named methods on other types)
+// reports false.
+func visitTraceMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != obsPkgPath || obj.Name() != "VisitTrace" {
+		return "", false
+	}
+	return fn.Name(), true
+}

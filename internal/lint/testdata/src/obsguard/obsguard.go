@@ -1,0 +1,83 @@
+// Package obsguard exercises the obsguard analyzer: VisitTrace
+// recording calls (Span, Instant, Reset, Snapshot) must sit lexically
+// inside an if body whose condition checks Enabled() on a VisitTrace,
+// so the disabled path evaluates no argument expressions. Enabled()
+// itself is the guard and is always legal; the //hbvet:allow escape
+// covers deliberate unguarded uses (e.g. test helpers).
+package obsguard
+
+import (
+	"time"
+
+	"headerbid/internal/obs"
+)
+
+type widget struct {
+	trace *obs.VisitTrace
+}
+
+func (w *widget) vt() *obs.VisitTrace { return w.trace }
+
+// unguardedSpan pays Span's argument construction on every call,
+// traced or not: reported.
+func (w *widget) unguardedSpan(t0, t1 time.Time) {
+	w.trace.Span(obs.TrackPage, "visit", t0, t1, obs.SpanOpts{}) // want obsguard "outside an Enabled"
+}
+
+// unguardedInstant through a helper accessor: still reported.
+func (w *widget) unguardedInstant(now time.Time) {
+	w.vt().Instant(obs.TrackPage, "quarantine", now, "boom") // want obsguard "outside an Enabled"
+}
+
+// wrongGuard checks something other than Enabled: reported.
+func (w *widget) wrongGuard(now time.Time) {
+	if w.trace != nil {
+		w.trace.Instant(obs.TrackAuction, "start", now, "") // want obsguard "outside an Enabled"
+	}
+}
+
+// guarded is the sanctioned pattern: clean.
+func (w *widget) guarded(t0, t1 time.Time) {
+	if vt := w.vt(); vt.Enabled() {
+		vt.Span(obs.TrackAuction, "auction", t0, t1, obs.SpanOpts{Detail: "ok"})
+		vt.Instant(obs.TrackPage, "mark", t1, "")
+	}
+}
+
+// guardedCompound accepts Enabled anywhere in the condition: clean.
+func (w *widget) guardedCompound(traced bool, t0, t1 time.Time) {
+	if traced && w.trace.Enabled() {
+		w.trace.Span(obs.TrackPage, "visit", t0, t1, obs.SpanOpts{})
+	}
+}
+
+// guardedNested covers statements nested deeper in the guard body: clean.
+func (w *widget) guardedNested(codes []string, now time.Time) {
+	if vt := w.vt(); vt.Enabled() {
+		for _, code := range codes {
+			if code != "" {
+				vt.Instant(obs.TrackAdServer, "slot", now, code)
+			}
+		}
+	}
+}
+
+// bareEnabled: the guard call itself needs no guard.
+func (w *widget) bareEnabled() bool {
+	return w.trace.Enabled()
+}
+
+// allowed carries the mandatory justification, so it is clean.
+func (w *widget) allowed() {
+	//hbvet:allow obsguard test fixture resets the recorder unconditionally
+	w.trace.Reset()
+}
+
+// lookalike has a same-named method on a different type: no report.
+type lookalike struct{}
+
+func (lookalike) Span(a, b string) {}
+
+func useLookalike(l lookalike) {
+	l.Span("x", "y")
+}

@@ -1,0 +1,169 @@
+// Package obs is the observability layer (DESIGN.md §2.5): a
+// zero-overhead-when-disabled span recorder for the visit hot path plus
+// a run-level telemetry registry of operational counters.
+//
+// Spans live on the *virtual* timeline — every Begin/End/At timestamp is
+// a clock.Scheduler reading, never the wall clock — so the same seed
+// produces the same trace file byte for byte, and traces are diffable CI
+// artifacts. The wall clock appears only in the operator-facing HTTP
+// surface (http.go), behind explicit //hbvet:allow detwall annotations.
+//
+// The emission contract is the guarded-enabled-check pattern, enforced
+// repo-wide by hbvet's obsguard rule:
+//
+//	if vt := x.trace(); vt.Enabled() {
+//		vt.Span(obs.TrackAuction, "auction", start, now, obs.SpanOpts{})
+//	}
+//
+// Enabled is nil-safe, and because the recording call — including every
+// argument expression — sits lexically inside the guard, the disabled
+// path evaluates nothing and allocates nothing (obs_test.go asserts 0
+// allocs/op; the bench gate's ALLOCS_CEILING holds with tracing compiled
+// in).
+package obs
+
+import "time"
+
+// Track names form the span vocabulary. A track maps to one Perfetto
+// thread row per traced visit; per-entity tracks (bidders, sync chains)
+// are derived with the prefix constants so wrapper-side spans and
+// server-side instants for the same partner land on the same row.
+const (
+	TrackPage     = "page"     // whole-visit span, quarantine instants
+	TrackAuction  = "auction"  // wrapper auction open→finalize
+	TrackAdServer = "adserver" // ad-server call span + slot decisions
+
+	TrackBidderPrefix = "bidder:" // per-partner bid request/response
+	TrackSyncPrefix   = "sync:"   // per-partner cookie-sync pixel chain
+)
+
+// TraceSource is implemented by environments that can hand out the
+// current visit's recorder (browser.Page does). Page libraries assert
+// their Env for it once at construction and read it per emission — the
+// recorder changes per visit while the library's Env pointer does not.
+type TraceSource interface{ VisitTrace() *VisitTrace }
+
+// Span is one closed interval on a visit's virtual timeline.
+type Span struct {
+	Track   string
+	Name    string
+	Begin   time.Time
+	End     time.Time
+	Late    bool   // arrived after the auction deadline
+	Retries int    // wrapper retransmissions folded into this span
+	Detail  string // free-form annotation (error text, fault note)
+}
+
+// Instant is a point event (timeout, quarantine, server-side decision).
+type Instant struct {
+	Track  string
+	Name   string
+	At     time.Time
+	Detail string
+}
+
+// SpanOpts carries the optional span annotations. Passed by value so a
+// guarded call site builds it without allocating.
+type SpanOpts struct {
+	Late    bool
+	Retries int
+	Detail  string
+}
+
+// VisitTrace records one visit's spans. The zero value of the *pointer*
+// is the disabled recorder: Enabled is nil-safe and every recording
+// method must be called behind it (hbvet: obsguard). A VisitTrace is
+// single-goroutine by design — each visit runs on one worker's virtual
+// clock — and is pooled per worker, Reset between traced visits.
+type VisitTrace struct {
+	spans    []Span
+	instants []Instant
+}
+
+// NewVisitTrace returns an enabled recorder.
+func NewVisitTrace() *VisitTrace { return &VisitTrace{} }
+
+// Enabled reports whether this recorder captures anything. It is the
+// guard of the emission pattern and the only method safe on a nil
+// receiver.
+func (t *VisitTrace) Enabled() bool { return t != nil }
+
+// Reset clears recorded events, keeping capacity for the next visit.
+func (t *VisitTrace) Reset() {
+	t.spans = t.spans[:0]
+	t.instants = t.instants[:0]
+}
+
+// Span records a closed interval.
+func (t *VisitTrace) Span(track, name string, begin, end time.Time, o SpanOpts) {
+	t.spans = append(t.spans, Span{
+		Track: track, Name: name, Begin: begin, End: end,
+		Late: o.Late, Retries: o.Retries, Detail: o.Detail,
+	})
+}
+
+// Instant records a point event.
+func (t *VisitTrace) Instant(track, name string, at time.Time, detail string) {
+	t.instants = append(t.instants, Instant{Track: track, Name: name, At: at, Detail: detail})
+}
+
+// Snapshot copies the recorded events into a standalone VisitSpans so
+// the pooled recorder can be Reset for the next visit. Recording order
+// is preserved — it is deterministic (one virtual clock per visit).
+func (t *VisitTrace) Snapshot(domain string, day int) *VisitSpans {
+	vs := &VisitSpans{
+		Domain:   domain,
+		Day:      day,
+		Spans:    make([]Span, len(t.spans)),
+		Instants: make([]Instant, len(t.instants)),
+	}
+	copy(vs.Spans, t.spans)
+	copy(vs.Instants, t.instants)
+	return vs
+}
+
+// VisitSpans is one traced visit's events, detached from the pooled
+// recorder: the unit that rides the crawler's ordered emit path into a
+// trace sink.
+type VisitSpans struct {
+	Domain   string
+	Day      int
+	Spans    []Span
+	Instants []Instant
+}
+
+// TracePlan selects which visits of a crawl are traced. The selection
+// is made against the day's rank-ordered job list — job index, not
+// completion order — so it is invariant under worker count, which the
+// byte-identical-trace determinism test relies on.
+type TracePlan struct {
+	// MaxSites caps how many visits are traced per crawl day
+	// (0 = no cap). The cap counts matching visits, so a filter plus a
+	// cap traces the first MaxSites matches in rank order.
+	MaxSites int
+	// Match restricts tracing to matching domains (nil = all).
+	Match func(domain string) bool
+}
+
+// Matches reports whether a domain passes the plan's filter.
+func (p *TracePlan) Matches(domain string) bool {
+	return p.Match == nil || p.Match(domain)
+}
+
+// Select returns the traced flag per job index for one crawl day, given
+// the day's domains in job (rank) order. Deterministic in its inputs.
+func (p *TracePlan) Select(domains []string) []bool {
+	traced := make([]bool, len(domains))
+	n := 0
+	for i, d := range domains {
+		if p.MaxSites > 0 && n >= p.MaxSites {
+			break
+		}
+		if !p.Matches(d) {
+			continue
+		}
+		traced[i] = true
+		n++
+	}
+	return traced
+}

@@ -7,6 +7,7 @@ import (
 
 	"headerbid/internal/events"
 	"headerbid/internal/hb"
+	"headerbid/internal/obs"
 	"headerbid/internal/urlkit"
 	"headerbid/internal/webreq"
 )
@@ -27,6 +28,21 @@ func (r *roundState) finalizeAuction() {
 		w.emit(events.Event{
 			Type: events.BidTimeout, Time: now, Bidder: bidder, Library: "prebid.js",
 		})
+	}
+
+	if vt := w.vt(); vt.Enabled() {
+		vt.Span(obs.TrackAuction, "auction", r.started, now, obs.SpanOpts{
+			Detail: w.cfg.Site,
+		})
+		// Timeout instants derive from the deterministic Bidders slice,
+		// never from ranging over r.pending — trace bytes must not
+		// depend on map iteration order (hbvet: detwall).
+		for i := range r.result.Bidders {
+			br := &r.result.Bidders[i]
+			if br.Responded.IsZero() {
+				vt.Instant(obs.TrackBidderPrefix+br.Bidder, "timeout", now, "")
+			}
+		}
 	}
 
 	// Per-unit auctionEnd + provisional (client-side) winner selection:
@@ -66,6 +82,7 @@ func pickWinner(bids []hb.Bid) *hb.Bid {
 func (r *roundState) callAdServer() {
 	w := r.wrapper
 	now := w.env.Now()
+	r.adServerSent = now
 
 	params := map[string]string{
 		"site": w.cfg.Site,
@@ -128,6 +145,14 @@ func (r *roundState) onAdServerResponse(resp *webreq.Response) {
 	w := r.wrapper
 	now := w.env.Now()
 	r.result.AdServerResponded = now
+
+	if vt := w.vt(); vt.Enabled() {
+		detail := ""
+		if resp != nil && resp.Err != "" {
+			detail = resp.Err
+		}
+		vt.Span(obs.TrackAdServer, "adserver", r.adServerSent, now, obs.SpanOpts{Detail: detail})
+	}
 
 	decisions := parseAdServerBody(resp)
 	for _, u := range w.cfg.AdUnits {

@@ -24,6 +24,7 @@ import (
 
 	"headerbid/internal/events"
 	"headerbid/internal/hb"
+	"headerbid/internal/obs"
 	"headerbid/internal/partners"
 	"headerbid/internal/rtb"
 	"headerbid/internal/webreq"
@@ -168,13 +169,29 @@ type Wrapper struct {
 	reg *partners.Registry
 	cfg Config
 
+	// traceSrc hands out the current visit's span recorder when the env
+	// is a browser page; nil otherwise (tests driving the wrapper on a
+	// bare scheduler).
+	traceSrc obs.TraceSource
+
 	auctionSeq int
 }
 
 // New creates a wrapper. bus receives the wrapper's DOM events; reg maps
 // bidder codes to endpoints.
 func New(env Env, bus *events.Bus, reg *partners.Registry, cfg Config) *Wrapper {
-	return &Wrapper{env: env, bus: bus, reg: reg, cfg: cfg}
+	w := &Wrapper{env: env, bus: bus, reg: reg, cfg: cfg}
+	w.traceSrc, _ = env.(obs.TraceSource)
+	return w
+}
+
+// vt returns the visit's recorder (nil when untraced). Callers emit
+// behind vt.Enabled() — the obsguard pattern.
+func (w *Wrapper) vt() *obs.VisitTrace {
+	if w.traceSrc == nil {
+		return nil
+	}
+	return w.traceSrc.VisitTrace()
 }
 
 // RequestBids runs a full auction round and calls done with the result.
@@ -185,6 +202,7 @@ func (w *Wrapper) RequestBids(done func(*Result)) {
 	round := &roundState{
 		wrapper: w,
 		result:  res,
+		started: start,
 		pending: make(map[string]bool),
 		units:   make(map[string]*UnitOutcome, len(w.cfg.AdUnits)),
 		done:    done,
@@ -244,6 +262,8 @@ func (w *Wrapper) collectBidders() []string {
 type roundState struct {
 	wrapper        *Wrapper
 	result         *Result
+	started        time.Time       // auction open (trace span anchor)
+	adServerSent   time.Time       // ad-server request issued (trace span anchor)
 	pending        map[string]bool // bidders not yet responded
 	units          map[string]*UnitOutcome
 	finalized      bool
@@ -388,12 +408,14 @@ func (w *Wrapper) onBidResponse(round *roundState, idx int, bidder string, units
 		} else {
 			br.Error = "http " + strconv.Itoa(resp.Status)
 		}
+		w.traceBidSpan(br)
 		w.maybeEarlyFinalize(round)
 		return
 	}
 	parsed, err := rtb.DecodeBidResponse(resp.Body)
 	if err != nil {
 		br.Error = err.Error()
+		w.traceBidSpan(br)
 		w.maybeEarlyFinalize(round)
 		return
 	}
@@ -436,7 +458,22 @@ func (w *Wrapper) onBidResponse(round *roundState, idx int, bidder string, units
 			})
 		}
 	}
+	w.traceBidSpan(br)
 	w.maybeEarlyFinalize(round)
+}
+
+// traceBidSpan records one bidder's request→response interval on the
+// visit trace, with the lateness/retry/error annotations the paper's
+// per-partner timing analysis is about. No-op (and allocation-free)
+// when the visit is untraced.
+func (w *Wrapper) traceBidSpan(br *BidderResult) {
+	if vt := w.vt(); vt.Enabled() {
+		vt.Span(obs.TrackBidderPrefix+br.Bidder, "bid", br.Requested, br.Responded, obs.SpanOpts{
+			Late:    br.Late,
+			Retries: br.Retries,
+			Detail:  br.Error,
+		})
+	}
 }
 
 // maybeEarlyFinalize ends the auction before the deadline once every

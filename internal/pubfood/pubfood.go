@@ -15,6 +15,7 @@ import (
 
 	"headerbid/internal/events"
 	"headerbid/internal/hb"
+	"headerbid/internal/obs"
 	"headerbid/internal/partners"
 	"headerbid/internal/rtb"
 	"headerbid/internal/urlkit"
@@ -89,11 +90,26 @@ type Library struct {
 	bus *events.Bus
 	reg *partners.Registry
 	cfg Config
+
+	// traceSrc hands out the current visit's span recorder when the env
+	// is a browser page; nil otherwise.
+	traceSrc obs.TraceSource
 }
 
 // New creates a pubfood library instance.
 func New(env Env, bus *events.Bus, reg *partners.Registry, cfg Config) *Library {
-	return &Library{env: env, bus: bus, reg: reg, cfg: cfg}
+	l := &Library{env: env, bus: bus, reg: reg, cfg: cfg}
+	l.traceSrc, _ = env.(obs.TraceSource)
+	return l
+}
+
+// vt returns the visit's recorder (nil when untraced). Callers emit
+// behind vt.Enabled() — the obsguard pattern.
+func (l *Library) vt() *obs.VisitTrace {
+	if l.traceSrc == nil {
+		return nil
+	}
+	return l.traceSrc.VisitTrace()
 }
 
 // Start runs the round; done receives the result after the ad server
@@ -131,6 +147,19 @@ func (l *Library) Start(done func(*Result)) {
 			l.emit(events.Event{
 				Type: events.BidTimeout, Time: end, Bidder: name, Library: "pubfood.js",
 			})
+		}
+		if vt := l.vt(); vt.Enabled() {
+			vt.Span(obs.TrackAuction, "auction", res.Started, end, obs.SpanOpts{
+				Detail: l.cfg.Site,
+			})
+			// Timeout instants derive from the deterministic Providers
+			// slice (outstanding is only consulted per key), so trace
+			// bytes never depend on map iteration order.
+			for _, p := range l.cfg.Providers {
+				if prof, ok := l.reg.BySlug(p.Name); ok && outstanding[prof.Slug] {
+					vt.Instant(obs.TrackBidderPrefix+prof.Slug, "timeout", end, "")
+				}
+			}
 		}
 		for _, s := range l.cfg.Slots {
 			sr := bySlot[s.Name]
@@ -242,6 +271,20 @@ func (l *Library) dispatchBid(prof *partners.Profile, bySlot map[string]*SlotRes
 		}
 		*pending--
 		defer onDone(prof.Slug)
+		if vt := l.vt(); vt.Enabled() {
+			arrive := l.env.Now()
+			detail := ""
+			if resp.Err != "" {
+				detail = resp.Err
+			} else if !resp.OK() {
+				detail = "http " + strconv.Itoa(resp.Status)
+			}
+			vt.Span(obs.TrackBidderPrefix+prof.Slug, "bid", sent, arrive, obs.SpanOpts{
+				Late:    arrive.Sub(sent) > l.cfg.Timeout(),
+				Retries: attempt,
+				Detail:  detail,
+			})
+		}
 		if !resp.OK() {
 			return
 		}
@@ -311,6 +354,13 @@ func (l *Library) callAdServer(res *Result, bySlot map[string]*SlotResult,
 	}
 	l.env.Fetch(req, func(resp *webreq.Response) {
 		res.AdServerResponded = l.env.Now()
+		if vt := l.vt(); vt.Enabled() {
+			detail := ""
+			if resp != nil && resp.Err != "" {
+				detail = resp.Err
+			}
+			vt.Span(obs.TrackAdServer, "adserver", now, res.AdServerResponded, obs.SpanOpts{Detail: detail})
+		}
 		l.render(res, bySlot, auctionIDs, resp, done)
 	})
 }

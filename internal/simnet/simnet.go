@@ -131,8 +131,14 @@ type Network struct {
 	baseRTT      time.Duration
 	jitter       time.Duration
 
-	// Requests counts every Fetch, for traffic accounting.
+	// Requests counts every Fetch, for traffic accounting. BytesOut and
+	// BytesIn are the virtual wire volume: request URL+payload bytes
+	// out, response payload bytes in (whatever survives faulting). Plain
+	// int adds on the visit-private network — always on, harvested into
+	// the obs telemetry registry once per visit.
 	Requests int
+	BytesOut int
+	BytesIn  int
 }
 
 // New creates a network on the given scheduler with the given seed.
@@ -179,6 +185,8 @@ func (n *Network) Reset(seed int64) {
 	n.baseRTT = 30 * time.Millisecond
 	n.jitter = 20 * time.Millisecond
 	n.Requests = 0
+	n.BytesOut = 0
+	n.BytesIn = 0
 }
 
 // SetRTT adjusts the base round-trip time and jitter of the network.
@@ -438,6 +446,7 @@ func netCallArrive(a any) {
 	if nc.garble {
 		body = garbleBody(body)
 	}
+	nc.net.BytesIn += len(body)
 	nc.resp = &webreq.Response{RequestID: nc.req.ID, Status: status, Body: body}
 	nc.net.Sched.AfterCall(delay, netCallDeliver, nc)
 }
@@ -476,6 +485,7 @@ func (e *Env) fetch(nc *netCall) {
 	n := e.net
 	req := nc.req
 	n.Requests++
+	n.BytesOut += len(req.URL) + len(req.Body)
 	host := req.Host()
 	key := req.RegistrableHost()
 	handler, ok := n.lookup(key)

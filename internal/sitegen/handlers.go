@@ -9,6 +9,7 @@ import (
 
 	"headerbid/internal/adserver"
 	"headerbid/internal/hb"
+	"headerbid/internal/obs"
 	"headerbid/internal/partners"
 	"headerbid/internal/rng"
 	"headerbid/internal/rtb"
@@ -92,10 +93,23 @@ type Ecosystem struct {
 	World *World
 	seed  int64
 
+	// trace is the visit's span recorder (nil when untraced). Only the
+	// crawler's single-threaded simnet path sets it — livenet serves
+	// concurrently and must leave it nil, since VisitTrace is
+	// single-goroutine. All emission sits behind Enabled (obsguard).
+	trace *obs.VisitTrace
+
 	mu        sync.Mutex
 	adServers map[string]*adserver.Server // per site domain
 	streams   map[string]*rng.Stream      // per purpose
 }
+
+// SetTrace attaches the visit's span recorder so server-side decisions
+// (partner bid choices, ad-server slot channels) land in the trace.
+func (e *Ecosystem) SetTrace(t *obs.VisitTrace) { e.trace = t }
+
+// vt returns the attached recorder (nil when untraced).
+func (e *Ecosystem) vt() *obs.VisitTrace { return e.trace }
 
 // NewEcosystem builds the handler state for a world, seeded by the world
 // seed (a long-lived server like livenet keeps advancing these streams
@@ -259,6 +273,14 @@ func (e *Ecosystem) handleBid(p *partners.Profile, req *webreq.Request) (int, st
 	e.mu.Unlock()
 	sc.bids = bids
 
+	if vt := e.vt(); vt.Enabled() {
+		detail := "bids=" + strconv.Itoa(len(bids))
+		if breq.TMax > 0 && service > time.Duration(breq.TMax)*time.Millisecond {
+			detail += " late"
+		}
+		vt.Instant(obs.TrackBidderPrefix+p.Slug, "partner-decision", req.Sent, detail)
+	}
+
 	resp := &sc.resp
 	*resp = rtb.BidResponse{ID: breq.ID, Currency: string(cur)}
 	if len(bids) > 0 {
@@ -300,7 +322,9 @@ func (e *Ecosystem) handleHosted(p *partners.Profile, req *webreq.Request) (int,
 			renderFail = site.RenderFailProb
 		}
 		var line string
+		channel := "house"
 		if winner != "" && cpm >= floor {
+			channel = "hb"
 			curl := creativeURL(map[string]string{
 				"slot": code, "size": size.String(), "channel": "hb",
 				hb.KeyBidder: winner, hb.KeyPriceBuck: hb.PriceBucket(cpm),
@@ -316,6 +340,9 @@ func (e *Ecosystem) handleHosted(p *partners.Profile, req *webreq.Request) (int,
 		}
 		if r.Bool(renderFail) {
 			line += "|fail"
+		}
+		if vt := e.vt(); vt.Enabled() {
+			vt.Instant(obs.TrackAdServer, "s2s-slot", req.Sent, code+"="+channel)
 		}
 		lines = append(lines, line)
 	})
@@ -405,8 +432,10 @@ func (e *Ecosystem) handleGampad(p *partners.Profile, req *webreq.Request) (int,
 		})
 
 		var line string
+		channel := "house"
 		switch {
 		case clientCPM >= floor && clientCPM >= ssCPM && clientBidder != "":
+			channel = "hb"
 			curl := creativeURL(map[string]string{
 				"slot": code, "size": size.String(), "channel": "hb",
 				hb.KeyBidder: clientBidder, hb.KeyPriceBuck: hb.PriceBucket(clientCPM),
@@ -414,6 +443,7 @@ func (e *Ecosystem) handleGampad(p *partners.Profile, req *webreq.Request) (int,
 			})
 			line = code + "|hb|" + curl
 		case ssCPM >= floor && ssBidder != "":
+			channel = "hb"
 			curl := creativeURL(map[string]string{
 				"slot": code, "size": size.String(), "channel": "hb",
 				hb.KeyBidder: ssBidder, hb.KeyPriceBuck: hb.PriceBucket(ssCPM),
@@ -422,6 +452,7 @@ func (e *Ecosystem) handleGampad(p *partners.Profile, req *webreq.Request) (int,
 			})
 			line = code + "|hb|" + curl
 		case dec.Channel == "direct":
+			channel = "direct"
 			curl := creativeURL(map[string]string{
 				"slot": code, "size": size.String(), "channel": "direct",
 				"li": dec.LineItem,
@@ -435,6 +466,9 @@ func (e *Ecosystem) handleGampad(p *partners.Profile, req *webreq.Request) (int,
 		}
 		if r.Bool(renderFail) {
 			line += "|fail"
+		}
+		if vt := e.vt(); vt.Enabled() {
+			vt.Instant(obs.TrackAdServer, "gampad-slot", req.Sent, code+"="+channel)
 		}
 		lines = append(lines, line)
 	})
@@ -485,6 +519,9 @@ func (e *Ecosystem) handleClientAdServer(s *Site, req *webreq.Request) (int, str
 		dec := srv.Decide(adserver.Request{
 			Site: s.Domain, AdUnit: code, Size: size, Targeting: t,
 		})
+		if vt := e.vt(); vt.Enabled() {
+			vt.Instant(obs.TrackAdServer, "pub-slot", req.Sent, code+"="+dec.Channel)
+		}
 
 		var curl string
 		switch dec.Channel {
@@ -676,6 +713,7 @@ func (w *World) InstallVisit(n *simnet.Network, s *Site, b *VisitBinding) *Ecosy
 	b.siteKey = urlkit.RegistrableDomain(s.Domain)
 	b.eco.World = w
 	b.eco.seed = w.Cfg.Seed ^ n.Seed()
+	b.eco.trace = nil
 	clear(b.eco.adServers)
 	clear(b.eco.streams)
 	n.SetCallResolver(b)

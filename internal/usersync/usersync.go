@@ -8,8 +8,10 @@
 package usersync
 
 import (
+	"strconv"
 	"time"
 
+	"headerbid/internal/obs"
 	"headerbid/internal/partners"
 	"headerbid/internal/rng"
 	"headerbid/internal/urlkit"
@@ -62,16 +64,31 @@ type Syncer struct {
 	reg *partners.Registry
 	cfg Config
 	rng *rng.Stream
+
+	// traceSrc hands out the current visit's span recorder when the env
+	// is a browser page; nil otherwise.
+	traceSrc obs.TraceSource
 }
 
 // New creates a syncer; seed makes pixel decisions reproducible.
 func New(env Env, reg *partners.Registry, cfg Config, seed int64) *Syncer {
-	return &Syncer{
+	s := &Syncer{
 		env: env,
 		reg: reg,
 		cfg: cfg,
 		rng: rng.SplitStable(seed, "usersync/"+cfg.Site),
 	}
+	s.traceSrc, _ = env.(obs.TraceSource)
+	return s
+}
+
+// vt returns the visit's recorder (nil when untraced). Callers emit
+// behind vt.Enabled() — the obsguard pattern.
+func (s *Syncer) vt() *obs.VisitTrace {
+	if s.traceSrc == nil {
+		return nil
+	}
+	return s.traceSrc.VisitTrace()
 }
 
 // Run fires the page's sync pixels; done receives the tally after every
@@ -92,14 +109,18 @@ func (s *Syncer) Run(done func(*Result)) {
 		}
 		res.Partners = append(res.Partners, slug)
 		pending++
-		s.firePixel(p, 0, &pending, res, finish)
+		s.firePixel(p, p.Slug, 0, &pending, res, finish)
 	}
 	finish()
 }
 
 // firePixel sends one sync pixel and possibly chains to a random other
-// partner (cookie matching between exchanges).
-func (s *Syncer) firePixel(p *partners.Profile, depth int, pending *int, res *Result, finish func()) {
+// partner (cookie matching between exchanges). root is the slug of the
+// chain's origin partner: trace spans land on the root's track, where
+// hops are strictly sequential — two chains may visit the same partner
+// concurrently, so keying the track by the current partner would break
+// the trace's span-nesting invariant.
+func (s *Syncer) firePixel(p *partners.Profile, root string, depth int, pending *int, res *Result, finish func()) {
 	res.PixelsFired++
 	uid := syncUID(uint32(s.rng.Int63() & 0xffffffff))
 	pixelParams := map[string]string{"uid": uid, "site": s.cfg.Site}
@@ -110,11 +131,19 @@ func (s *Syncer) firePixel(p *partners.Profile, depth int, pending *int, res *Re
 		Sent:   s.env.Now(),
 	}
 	req.PrefillParams(pixelParams)
+	sent := req.Sent
 	s.env.Fetch(req, func(*webreq.Response) {
+		if vt := s.vt(); vt.Enabled() {
+			detail := ""
+			if depth > 0 {
+				detail = "hop " + strconv.Itoa(depth) + " " + p.Slug
+			}
+			vt.Span(obs.TrackSyncPrefix+root, "pixel", sent, s.env.Now(), obs.SpanOpts{Detail: detail})
+		}
 		if depth < s.cfg.MaxChain && s.rng.Bool(s.cfg.ChainProb) {
 			if next := s.randomOtherPartner(p.Slug); next != nil {
 				res.Chained++
-				s.firePixel(next, depth+1, pending, res, finish)
+				s.firePixel(next, root, depth+1, pending, res, finish)
 				return
 			}
 		}

@@ -23,6 +23,7 @@ set -e
 
 MAX_ALLOCS=${MAX_ALLOCS:-200}
 MAX_METRICS_OVERHEAD_PCT=${MAX_METRICS_OVERHEAD_PCT:-10}
+MAX_OBS_OVERHEAD_PCT=${MAX_OBS_OVERHEAD_PCT:-5}
 MAX_SWEEP_VARIANT_PCT=${MAX_SWEEP_VARIANT_PCT:-95}
 GATE_ATTEMPTS=${GATE_ATTEMPTS:-3}
 BASELINE=${BASELINE:-perf/bench.baseline.txt}
@@ -88,6 +89,14 @@ gate_ratio() {
 
 gate_ratio BenchmarkCrawl_MetricsOverhead overhead_pct "$MAX_METRICS_OVERHEAD_PCT" \
     "full-report metrics overhead"
+
+# Observability gate: run telemetry plus a sampled trace plan must cost
+# the crawl at most MAX_OBS_OVERHEAD_PCT of bare time. The untraced
+# majority of visits rides the guarded-emission pattern (hbvet:
+# obsguard), so a regression here means an unguarded recording call or
+# a hot harvest path grew.
+gate_ratio BenchmarkCrawl_ObsOverhead overhead_pct "$MAX_OBS_OVERHEAD_PCT" \
+    "observability overhead"
 
 # Shared-world sweep gate: a variant's marginal cost (crawl over the
 # warm shared world) must stay below the fresh-run cost (world

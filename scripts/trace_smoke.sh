@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# trace_smoke.sh — CI smoke for the observability layer: a traced crawl
+# must be deterministic end to end through the real binary. The same
+# seed crawled with one worker and with the default worker count must
+# produce byte-identical crawl JSONL *and* byte-identical Perfetto
+# trace files, and the trace must satisfy the span-nesting validator
+# (every span stack-nests within its track — Perfetto renders it as a
+# well-formed flame chart, not overlapping slices).
+#
+# This is the CLI counterpart of the in-process tests in trace_test.go:
+# it exercises the real hbcrawl flags (-trace, -trace-sites, -workers)
+# and the real files on disk.
+set -e
+
+SITES=${SITES:-200}
+SEED=${SEED:-7}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== building hbcrawl"
+go build -o "$WORK" ./cmd/hbcrawl
+
+echo "== traced crawl of $SITES sites (seed $SEED), workers=1"
+"$WORK/hbcrawl" -sites "$SITES" -seed "$SEED" -workers 1 -q \
+    -o "$WORK/one.jsonl" -trace "$WORK/one.json" 2>/dev/null
+
+# 4 explicit workers, not the NumCPU default: on a single-CPU CI box
+# the default collapses to 1 and the comparison proves nothing, while
+# 4 goroutine workers interleave and finish out of order regardless.
+echo "== traced crawl of $SITES sites (seed $SEED), workers=4"
+"$WORK/hbcrawl" -sites "$SITES" -seed "$SEED" -workers 4 -q \
+    -o "$WORK/many.jsonl" -trace "$WORK/many.json" 2>/dev/null
+
+if ! cmp -s "$WORK/one.jsonl" "$WORK/many.jsonl"; then
+    echo "FAIL: crawl JSONL differs between workers=1 and workers=4" >&2
+    exit 1
+fi
+echo "OK: crawl JSONL is worker-count invariant"
+
+if ! cmp -s "$WORK/one.json" "$WORK/many.json"; then
+    echo "FAIL: trace files differ between workers=1 and workers=4" >&2
+    exit 1
+fi
+echo "OK: trace bytes are worker-count invariant"
+
+echo "== untraced crawl must emit the same JSONL"
+"$WORK/hbcrawl" -sites "$SITES" -seed "$SEED" -q -o "$WORK/plain.jsonl" 2>/dev/null
+if ! cmp -s "$WORK/plain.jsonl" "$WORK/one.jsonl"; then
+    echo "FAIL: tracing perturbed the crawl's JSONL output" >&2
+    exit 1
+fi
+echo "OK: tracing leaves crawl output untouched"
+
+echo "== validating trace structure (span nesting, JSON shape)"
+HB_TRACE_FILE="$WORK/one.json" go test ./internal/obs -run TestTraceArtifact
+echo "OK: trace smoke passed"

@@ -2,10 +2,12 @@ package headerbid
 
 import (
 	"io"
+	"os"
 
 	"headerbid/internal/analysis"
 	"headerbid/internal/crawler"
 	"headerbid/internal/dataset"
+	"headerbid/internal/obs"
 )
 
 // Visit is one completed site visit as delivered to sinks: the record
@@ -128,6 +130,51 @@ func (s *JSONLSink) Close() error { return s.w.Close() }
 
 // Count reports records written.
 func (s *JSONLSink) Count() int { return s.w.Count() }
+
+// TraceSink writes the spans of traced visits (see WithTrace) as one
+// Chrome trace_event JSON file, loadable in Perfetto or chrome://tracing.
+// Visits arrive in deterministic crawl order and process/thread ids are
+// assigned in that order, so the file is byte-identical for a given seed
+// and plan regardless of worker count. Untraced visits are skipped.
+type TraceSink struct {
+	tw *obs.TraceWriter
+	f  *os.File
+}
+
+// NewTraceSink streams the trace JSON to w (Close finalizes the JSON).
+func NewTraceSink(w io.Writer) *TraceSink {
+	return &TraceSink{tw: obs.NewTraceWriter(w)}
+}
+
+// NewTraceFileSink creates/truncates path and streams the trace to it;
+// Close finalizes the JSON and closes the file.
+func NewTraceFileSink(path string) (*TraceSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceSink{tw: obs.NewTraceWriter(f), f: f}, nil
+}
+
+// Consume appends the visit's spans (no-op for untraced visits).
+func (s *TraceSink) Consume(v Visit) error {
+	if v.Trace == nil {
+		return nil
+	}
+	return s.tw.Write(v.Trace)
+}
+
+// Close finalizes the JSON document (and closes the file for file
+// sinks). A trace with zero visits still closes to a valid document.
+func (s *TraceSink) Close() error {
+	err := s.tw.Close()
+	if s.f != nil {
+		if cerr := s.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // SummarySink folds each record into an incremental Table-1 Summary on
 // the ordered emit path — a thin adapter over the summary Metric; state
